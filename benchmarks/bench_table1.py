@@ -1,0 +1,43 @@
+"""Bench T1 — regenerates Table 1 (unloaded fabric latency, four stacks).
+
+Prints the same bottom-line rows the paper reports and asserts the
+headline values; the benchmark times the full table computation.
+"""
+
+from repro.experiments import run_table1
+from repro.latency.table1 import format_table1, latency_ratios
+
+
+def test_table1(benchmark):
+    rows = benchmark(run_table1)
+    print()
+    print(format_table1())
+    ratios = latency_ratios()
+    print(
+        "EDM advantage — read: "
+        + ", ".join(f"{k} {v['read']:.1f}x" for k, v in ratios.items())
+    )
+    print(
+        "EDM advantage — write: "
+        + ", ".join(f"{k} {v['write']:.1f}x" for k, v in ratios.items())
+    )
+    assert abs(rows["EDM"]["read_total_ns"] - 299.52) < 0.01
+    assert abs(rows["EDM"]["write_total_ns"] - 296.96) < 0.01
+
+
+def test_table1_testbed_des(benchmark):
+    """The DES counterpart: a 25 GbE two-node testbed read/write."""
+    from repro.fabrics.base import ClusterConfig, OfferedMessage
+    from repro.fabrics.edm import EdmFabric
+
+    fabric = EdmFabric(ClusterConfig(num_nodes=2, link_gbps=25.0))
+
+    def run():
+        read = fabric.measure_unloaded(64, is_read=True)
+        write = fabric.measure_unloaded(64, is_read=False)
+        return read, write
+
+    read, write = benchmark(run)
+    print(f"\nDES testbed: 64 B read {read:.1f} ns, write {write:.1f} ns "
+          f"(paper: 299.52 / 296.96 ns; DES omits PMA/PMD+transceiver stages)")
+    assert 100 < read < 500 and 100 < write < 500

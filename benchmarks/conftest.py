@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's evaluation at
+a reduced-but-representative scale (32 nodes instead of 144, tens of
+thousands of messages) so the full suite completes in minutes.  Scale up
+via the REPRO_BENCH_NODES / REPRO_BENCH_MESSAGES environment variables to
+approach the paper's configuration.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import Figure8aScale, Figure8bScale
+
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "16"))
+BENCH_MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "4000"))
+
+
+@pytest.fixture(scope="session")
+def fig8a_scale():
+    return Figure8aScale(
+        num_nodes=BENCH_NODES,
+        message_count=BENCH_MESSAGES,
+        deadline_ns=5_000_000_000.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig8b_scale():
+    # Heavy-tailed traces generate far more wire bytes per message than the
+    # 64 B microbenchmark; a smaller message count keeps the 5-app x
+    # 7-protocol sweep to minutes.
+    return Figure8bScale(
+        num_nodes=min(BENCH_NODES, 16),
+        message_count=max(1000, BENCH_MESSAGES // 10),
+        load=0.6,
+        deadline_ns=20_000_000_000.0,
+    )

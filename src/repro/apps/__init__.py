@@ -1,0 +1,25 @@
+"""Application layer: the remote key-value store of §4.2.2."""
+
+from repro.apps.kvstore import (
+    CXL_REMOTE_READ_NS,
+    CXL_REMOTE_WRITE_NS,
+    FIGURE7_SPLITS,
+    LatencyPoint,
+    RemoteKvStore,
+    SLOT_BYTES,
+    ThroughputPoint,
+    kv_latency_ns,
+    kv_throughput_mrps,
+)
+
+__all__ = [
+    "CXL_REMOTE_READ_NS",
+    "CXL_REMOTE_WRITE_NS",
+    "FIGURE7_SPLITS",
+    "LatencyPoint",
+    "RemoteKvStore",
+    "SLOT_BYTES",
+    "ThroughputPoint",
+    "kv_latency_ns",
+    "kv_throughput_mrps",
+]

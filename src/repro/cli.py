@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli figure5
+    python -m repro.cli figure6
+    python -m repro.cli figure7
+    python -m repro.cli figure8a --nodes 24 --messages 8000 --loads 0.2,0.8
+    python -m repro.cli figure8b --nodes 12 --messages 1200 --apps memcached
+    python -m repro.cli checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    Figure8aScale,
+    Figure8bScale,
+    format_grid,
+    run_figure6,
+    run_figure7,
+    run_figure8a_loads,
+    run_figure8b,
+    summarize_shape_checks,
+)
+from repro.latency.breakdown import format_breakdown, read_breakdown, write_breakdown
+from repro.latency.table1 import format_table1
+
+
+def _cmd_table1(_: argparse.Namespace) -> None:
+    print(format_table1())
+
+
+def _cmd_figure5(_: argparse.Namespace) -> None:
+    print(format_breakdown(read_breakdown(), "Figure 5 — 64 B READ"))
+    print()
+    print(format_breakdown(write_breakdown(), "Figure 5 — 64 B WRITE"))
+
+
+def _cmd_figure6(_: argparse.Namespace) -> None:
+    print("Figure 6 — KV throughput (Mrps), EDM vs RDMA:")
+    for row in run_figure6():
+        print(
+            f"  YCSB-{row['workload']}: EDM {row['edm_mrps']:6.2f}  "
+            f"RDMA {row['rdma_mrps']:6.2f}  speedup {row['speedup']:.2f}x"
+        )
+
+
+def _cmd_figure7(_: argparse.Namespace) -> None:
+    print("Figure 7 — mean YCSB-A latency (ns) vs local:remote placement:")
+    for row in run_figure7():
+        print(
+            f"  {row['split']:>7}: EDM {row['edm_ns']:7.1f}  "
+            f"CXL {row['cxl_ns']:7.1f}  RDMA {row['rdma_ns']:7.1f}"
+        )
+
+
+def _cmd_figure8a(args: argparse.Namespace) -> None:
+    loads = tuple(float(x) for x in args.loads.split(","))
+    scale = Figure8aScale(num_nodes=args.nodes, message_count=args.messages)
+    results = run_figure8a_loads(loads=loads, scale=scale)
+    print(format_grid(results, "Figure 8a — normalized 64 B latency vs load"))
+
+
+def _cmd_figure8b(args: argparse.Namespace) -> None:
+    scale = Figure8bScale(num_nodes=args.nodes, message_count=args.messages)
+    apps = args.apps.split(",") if args.apps else None
+    results = run_figure8b(apps=apps, scale=scale)
+    print(format_grid(results, "Figure 8b — normalized MCT per app trace"))
+
+
+def _cmd_checks(_: argparse.Namespace) -> None:
+    checks = summarize_shape_checks()
+    width = max(len(k) for k in checks)
+    for name, ok in checks.items():
+        print(f"  {name:<{width}}  {'PASS' if ok else 'FAIL'}")
+    if not all(checks.values()):
+        sys.exit(1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with one subcommand per artifact."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate EDM (ASPLOS 2025) evaluation artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table 1: unloaded fabric latency").set_defaults(fn=_cmd_table1)
+    sub.add_parser("figure5", help="Figure 5: EDM cycle breakdown").set_defaults(fn=_cmd_figure5)
+    sub.add_parser("figure6", help="Figure 6: KV throughput").set_defaults(fn=_cmd_figure6)
+    sub.add_parser("figure7", help="Figure 7: latency vs placement").set_defaults(fn=_cmd_figure7)
+
+    f8a = sub.add_parser("figure8a", help="Figure 8a: latency vs load")
+    f8a.add_argument("--nodes", type=int, default=24)
+    f8a.add_argument("--messages", type=int, default=8000)
+    f8a.add_argument("--loads", type=str, default="0.2,0.5,0.8")
+    f8a.set_defaults(fn=_cmd_figure8a)
+
+    f8b = sub.add_parser("figure8b", help="Figure 8b: MCT on app traces")
+    f8b.add_argument("--nodes", type=int, default=12)
+    f8b.add_argument("--messages", type=int, default=1200)
+    f8b.add_argument("--apps", type=str, default="")
+    f8b.set_defaults(fn=_cmd_figure8b)
+
+    sub.add_parser("checks", help="Headline shape checks").set_defaults(fn=_cmd_checks)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Entry point: dispatch to the selected artifact generator."""
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()

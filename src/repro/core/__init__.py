@@ -1,0 +1,29 @@
+"""Core contribution of the paper: message model, clocks, and the scheduler."""
+
+from repro.core import clock
+from repro.core.messages import (
+    Grant,
+    MemoryMessage,
+    MessageType,
+    Notification,
+    make_rmwreq,
+    make_rreq,
+    make_rres,
+    make_wreq,
+)
+from repro.core.opcodes import RmwOpcode, RmwResult, execute
+
+__all__ = [
+    "Grant",
+    "MemoryMessage",
+    "MessageType",
+    "Notification",
+    "RmwOpcode",
+    "RmwResult",
+    "clock",
+    "execute",
+    "make_rmwreq",
+    "make_rreq",
+    "make_rres",
+    "make_wreq",
+]

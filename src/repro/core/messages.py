@@ -1,0 +1,246 @@
+"""Remote-memory message model (§2.3) and scheduler control payloads (§3.1.4).
+
+EDM abstracts remote memory traffic into four message types: RREQ, WREQ,
+RMWREQ (generated at compute nodes) and RRES (generated at memory nodes).
+The scheduler adds two control payloads: demand *notifications* (/N/ blocks)
+and *grants* (/G/ blocks).  Field widths follow §3.1.4: 9-bit destination
+(clusters up to 512 nodes), 8-bit message id, 16-bit size.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.opcodes import RmwOpcode, request_size_bytes, response_size_bytes
+from repro.errors import ConfigError
+
+#: Wire size of an RREQ: a 64-bit remote address (the read length rides in
+#: the block header's 16-bit size field), per §2.3 "e.g., a 64-bit (8 B)
+#: remote memory address".
+RREQ_SIZE_BYTES = 8
+
+#: Control payload size for /N/ and /G/ blocks: 9b dst + 8b id + 16b size
+#: (§3.1.4) — 33 bits, rounded to bytes.
+CONTROL_PAYLOAD_BYTES = 5
+
+#: Maximum message id (8-bit field, §3.1.4).
+MAX_MESSAGE_ID = (1 << 8) - 1
+
+#: Maximum node/port id (9-bit field for a 512-node cluster, §3.1.4).
+MAX_NODE_ID = (1 << 9) - 1
+
+_msg_counter = itertools.count()
+
+
+def _next_uid() -> int:
+    return next(_msg_counter)
+
+
+class MessageType(enum.Enum):
+    """The four remote-memory message types of §2.3."""
+
+    RREQ = "RREQ"
+    WREQ = "WREQ"
+    RMWREQ = "RMWREQ"
+    RRES = "RRES"
+
+
+@dataclass
+class MemoryMessage:
+    """A remote-memory message travelling over the fabric.
+
+    Attributes:
+        mtype: one of the four message types.
+        src: source node/port id.
+        dst: destination node/port id.
+        size_bytes: wire size of this message's payload.
+        address: remote memory address the operation targets.
+        read_bytes: for RREQ, the number of bytes to read (the implicit
+            demand for the corresponding RRES, §3.1.1).
+        message_id: per source-destination identifier (8 bits).
+        opcode: RMW opcode for RMWREQ messages.
+        rmw_args: RMW operands for RMWREQ messages.
+        created_at: simulation time the message was generated, ns.
+        uid: globally unique id, for tracing and state-table keys.
+        in_response_to: for RRES, the uid of the originating request.
+    """
+
+    mtype: MessageType
+    src: int
+    dst: int
+    size_bytes: int
+    address: int = 0
+    read_bytes: int = 0
+    message_id: int = 0
+    opcode: Optional[RmwOpcode] = None
+    rmw_args: Tuple[int, ...] = ()
+    created_at: float = 0.0
+    uid: int = field(default_factory=_next_uid)
+    in_response_to: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigError(f"message src and dst must differ, both are {self.src}")
+        if not 0 <= self.src <= MAX_NODE_ID or not 0 <= self.dst <= MAX_NODE_ID:
+            raise ConfigError(
+                f"node ids must fit in 9 bits, got src={self.src} dst={self.dst}"
+            )
+        if self.size_bytes <= 0:
+            raise ConfigError(f"message size must be positive, got {self.size_bytes}")
+        if not 0 <= self.message_id <= MAX_MESSAGE_ID:
+            raise ConfigError(f"message id must fit in 8 bits, got {self.message_id}")
+        if self.mtype == MessageType.RREQ and self.read_bytes <= 0:
+            raise ConfigError("an RREQ must declare a positive read_bytes demand")
+        if self.mtype == MessageType.RMWREQ and self.opcode is None:
+            raise ConfigError("an RMWREQ must carry an opcode")
+
+    @property
+    def is_request(self) -> bool:
+        """Whether this message originates at a compute node."""
+        return self.mtype in (MessageType.RREQ, MessageType.WREQ, MessageType.RMWREQ)
+
+    @property
+    def response_demand_bytes(self) -> int:
+        """Size of the response this request implies (0 for WREQ, §3.1.1)."""
+        if self.mtype == MessageType.RREQ:
+            return self.read_bytes
+        if self.mtype == MessageType.RMWREQ:
+            assert self.opcode is not None
+            return response_size_bytes(self.opcode)
+        return 0
+
+
+def make_rreq(
+    src: int,
+    dst: int,
+    address: int,
+    read_bytes: int,
+    *,
+    message_id: int = 0,
+    created_at: float = 0.0,
+) -> MemoryMessage:
+    """Build a read request.  The wire size is fixed at 8 B (§2.3)."""
+    return MemoryMessage(
+        mtype=MessageType.RREQ,
+        src=src,
+        dst=dst,
+        size_bytes=RREQ_SIZE_BYTES,
+        address=address,
+        read_bytes=read_bytes,
+        message_id=message_id,
+        created_at=created_at,
+    )
+
+
+def make_wreq(
+    src: int,
+    dst: int,
+    address: int,
+    data_bytes: int,
+    *,
+    message_id: int = 0,
+    created_at: float = 0.0,
+) -> MemoryMessage:
+    """Build a write request carrying ``data_bytes`` of payload."""
+    if data_bytes <= 0:
+        raise ConfigError(f"WREQ payload must be positive, got {data_bytes}")
+    return MemoryMessage(
+        mtype=MessageType.WREQ,
+        src=src,
+        dst=dst,
+        size_bytes=data_bytes,
+        address=address,
+        message_id=message_id,
+        created_at=created_at,
+    )
+
+
+def make_rmwreq(
+    src: int,
+    dst: int,
+    address: int,
+    opcode: RmwOpcode,
+    args: Tuple[int, ...],
+    *,
+    message_id: int = 0,
+    created_at: float = 0.0,
+) -> MemoryMessage:
+    """Build an atomic read-modify-write request (§3.2.1)."""
+    return MemoryMessage(
+        mtype=MessageType.RMWREQ,
+        src=src,
+        dst=dst,
+        size_bytes=request_size_bytes(opcode),
+        address=address,
+        opcode=opcode,
+        rmw_args=tuple(args),
+        message_id=message_id,
+        created_at=created_at,
+    )
+
+
+def make_rres(
+    request: MemoryMessage,
+    *,
+    size_bytes: Optional[int] = None,
+    created_at: float = 0.0,
+) -> MemoryMessage:
+    """Build the read response for ``request`` (an RREQ or RMWREQ)."""
+    if not request.is_request or request.mtype == MessageType.WREQ:
+        raise ConfigError(f"no RRES is generated for a {request.mtype.value}")
+    demand = size_bytes if size_bytes is not None else request.response_demand_bytes
+    return MemoryMessage(
+        mtype=MessageType.RRES,
+        src=request.dst,
+        dst=request.src,
+        size_bytes=demand,
+        address=request.address,
+        message_id=request.message_id,
+        created_at=created_at,
+        in_response_to=request.uid,
+    )
+
+
+@dataclass(frozen=True)
+class Notification:
+    """An explicit demand notification (/N/ block payload, §3.1.4).
+
+    Sent by a host before a WREQ; for reads the RREQ itself is the implicit
+    notification and the switch synthesizes one of these internally.
+    """
+
+    src: int
+    dst: int
+    message_id: int
+    size_bytes: int
+    notified_at: float = 0.0
+    message_uid: Optional[int] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        return CONTROL_PAYLOAD_BYTES
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A chunk grant (/G/ block payload, §3.1.4).
+
+    ``for_response`` distinguishes grants for RRES messages (whose message
+    id was chosen by the *requester*) from grants for WREQ messages (whose
+    id the sender chose) — one bit of the grant's payload.
+    """
+
+    src: int
+    dst: int
+    message_id: int
+    chunk_bytes: int
+    granted_at: float = 0.0
+    message_uid: Optional[int] = None
+    for_response: bool = False
+
+    @property
+    def wire_bytes(self) -> int:
+        return CONTROL_PAYLOAD_BYTES

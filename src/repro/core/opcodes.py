@@ -1,0 +1,149 @@
+"""Atomic read-modify-write opcodes supported by RMWREQ messages (§3.2.1).
+
+The NIC at the memory node executes these atomically: read the current
+64-bit word, apply the modify operation, write the result back, and return
+a response.  Compare-and-swap is the opcode the paper calls out explicitly
+(it underlies locks and mutexes); the rest are the standard atomics offered
+by RDMA-class fabrics and are what a disaggregated runtime would expect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigError
+
+#: Width of the memory words RMW operations act on, in bytes (64-bit DDR4 word).
+RMW_WORD_BYTES = 8
+
+_WORD_MASK = (1 << 64) - 1
+
+
+class RmwOpcode(enum.IntEnum):
+    """Opcodes carried in the RMWREQ message's opcode field."""
+
+    COMPARE_AND_SWAP = 0
+    FETCH_AND_ADD = 1
+    SWAP = 2
+    FETCH_AND_AND = 3
+    FETCH_AND_OR = 4
+    FETCH_AND_XOR = 5
+    FETCH_AND_MIN = 6
+    FETCH_AND_MAX = 7
+
+
+@dataclass(frozen=True)
+class RmwResult:
+    """Outcome of an atomic read-modify-write.
+
+    Attributes:
+        new_value: the value written back to memory.
+        response: the value returned to the compute node in the RRES.  For
+            CAS this is the *old* value (1-bit success can be derived from
+            it); for fetch-style ops it is also the old value; for SWAP it
+            is the old value.
+        swapped: for CAS, whether the swap took place; ``True`` otherwise.
+    """
+
+    new_value: int
+    response: int
+    swapped: bool
+
+
+def _cas(old: int, args: Tuple[int, ...]) -> RmwResult:
+    expected, desired = args
+    if old == expected:
+        return RmwResult(new_value=desired & _WORD_MASK, response=old, swapped=True)
+    return RmwResult(new_value=old, response=old, swapped=False)
+
+
+def _faa(old: int, args: Tuple[int, ...]) -> RmwResult:
+    (addend,) = args
+    return RmwResult(new_value=(old + addend) & _WORD_MASK, response=old, swapped=True)
+
+
+def _swap(old: int, args: Tuple[int, ...]) -> RmwResult:
+    (value,) = args
+    return RmwResult(new_value=value & _WORD_MASK, response=old, swapped=True)
+
+
+def _fand(old: int, args: Tuple[int, ...]) -> RmwResult:
+    (mask,) = args
+    return RmwResult(new_value=old & mask & _WORD_MASK, response=old, swapped=True)
+
+
+def _for(old: int, args: Tuple[int, ...]) -> RmwResult:
+    (mask,) = args
+    return RmwResult(new_value=(old | mask) & _WORD_MASK, response=old, swapped=True)
+
+
+def _fxor(old: int, args: Tuple[int, ...]) -> RmwResult:
+    (mask,) = args
+    return RmwResult(new_value=(old ^ mask) & _WORD_MASK, response=old, swapped=True)
+
+
+def _fmin(old: int, args: Tuple[int, ...]) -> RmwResult:
+    (value,) = args
+    return RmwResult(new_value=min(old, value & _WORD_MASK), response=old, swapped=True)
+
+
+def _fmax(old: int, args: Tuple[int, ...]) -> RmwResult:
+    (value,) = args
+    return RmwResult(new_value=max(old, value & _WORD_MASK), response=old, swapped=True)
+
+
+_EXECUTORS: Dict[RmwOpcode, Tuple[int, Callable[[int, Tuple[int, ...]], RmwResult]]] = {
+    RmwOpcode.COMPARE_AND_SWAP: (2, _cas),
+    RmwOpcode.FETCH_AND_ADD: (1, _faa),
+    RmwOpcode.SWAP: (1, _swap),
+    RmwOpcode.FETCH_AND_AND: (1, _fand),
+    RmwOpcode.FETCH_AND_OR: (1, _for),
+    RmwOpcode.FETCH_AND_XOR: (1, _fxor),
+    RmwOpcode.FETCH_AND_MIN: (1, _fmin),
+    RmwOpcode.FETCH_AND_MAX: (1, _fmax),
+}
+
+
+def argument_count(opcode: RmwOpcode) -> int:
+    """Number of 64-bit arguments the opcode expects in the RMWREQ payload."""
+    return _EXECUTORS[opcode][0]
+
+
+def request_size_bytes(opcode: RmwOpcode) -> int:
+    """Wire size of an RMWREQ: address + opcode word + arguments.
+
+    A compare-and-swap carries three 64-bit words (address, expected,
+    desired), i.e. 24 B, matching §2.3's example.
+    """
+    # One word for the remote address (the opcode rides in the block header),
+    # plus one word per argument.
+    return RMW_WORD_BYTES * (1 + argument_count(opcode))
+
+
+def execute(opcode: RmwOpcode, old_value: int, args: Tuple[int, ...]) -> RmwResult:
+    """Apply ``opcode`` to ``old_value`` with ``args`` and return the result."""
+    if opcode not in _EXECUTORS:
+        raise ConfigError(f"unknown RMW opcode: {opcode!r}")
+    expected_args, fn = _EXECUTORS[opcode]
+    if len(args) != expected_args:
+        raise ConfigError(
+            f"{opcode.name} expects {expected_args} argument(s), got {len(args)}"
+        )
+    if not 0 <= old_value <= _WORD_MASK:
+        raise ConfigError(f"old_value out of 64-bit range: {old_value}")
+    return fn(old_value, tuple(int(a) & _WORD_MASK for a in args))
+
+
+def response_size_bytes(opcode: RmwOpcode) -> int:
+    """Wire size of the RRES for an RMW operation (§2.3).
+
+    The paper notes a CAS response "can be as small as 1 bit True or False";
+    we return the old value (8 B) as RDMA does, which is the conservative
+    choice for bandwidth accounting, except CAS where the paper's minimal
+    1-bit response rounds up to a single byte.
+    """
+    if opcode == RmwOpcode.COMPARE_AND_SWAP:
+        return 1
+    return RMW_WORD_BYTES

@@ -1,0 +1,209 @@
+"""The grant engine: chunking, port busy windows, and timed release (§3.1.1).
+
+This is the event-level face of the scheduler.  It owns the notification
+queue bank and a PIM matcher and turns matches into chunk :class:`Grant`
+objects, maintaining:
+
+* **remaining-bytes state** per demand, decremented by each grant;
+* **busy windows** per source and destination port.  Per step (7) of the
+  grant algorithm, a port pair granted ``l`` bytes at time ``t`` is released
+  at ``t + l/B`` (not when the data is fully received) so the grant for the
+  next chunk can be issued just in time to keep the link busy;
+* **implicit first grants** for RRES demands: the buffered RREQ/RMWREQ is
+  forwarded to the memory node as the first grant (§3.1.1 step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.clock import (
+    SCHEDULER_CLOCK_GHZ,
+    matching_latency_ns,
+)
+from repro.core.messages import Grant
+from repro.phy.encoder import block_count_for_message
+from repro.core.scheduler.notification_queue import (
+    Demand,
+    NotificationQueueBank,
+)
+from repro.core.scheduler.pim import PimMatcher
+from repro.core.scheduler.policies import Policy
+from repro.errors import SchedulerError
+
+#: Chunk size used in the paper's large-scale simulations (§4.3).
+DEFAULT_CHUNK_BYTES = 256
+
+
+@dataclass
+class IssuedGrant:
+    """A grant paired with its demand and bookkeeping for the fabric model."""
+
+    grant: Grant
+    demand: Demand
+    is_first_for_rres: bool = False
+    completes_message: bool = False
+
+
+@dataclass
+class SchedulerConfig:
+    """Tunable parameters of the central scheduler."""
+
+    num_ports: int
+    link_gbps: float
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    policy: Policy = Policy.SRPT
+    max_active_per_pair: int = 3
+    clock_ghz: float = SCHEDULER_CLOCK_GHZ
+    max_iterations: Optional[int] = None
+    early_release: bool = True
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise SchedulerError(f"chunk size must be positive: {self.chunk_bytes}")
+        if self.link_gbps <= 0:
+            raise SchedulerError(f"link rate must be positive: {self.link_gbps}")
+
+    @property
+    def matching_latency_ns(self) -> float:
+        """Average time to form one maximal matching (§3.1.3)."""
+        return matching_latency_ns(self.num_ports, self.clock_ghz)
+
+
+class CentralScheduler:
+    """EDM's centralized in-network memory-traffic scheduler.
+
+    Time-driven API: the owner (switch model) calls :meth:`notify` when
+    demands arrive and :meth:`schedule` to run a matching round at a given
+    simulation time; grants are returned for the owner to deliver.
+    """
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        self.config = config
+        self.bank = NotificationQueueBank(
+            num_ports=config.num_ports,
+            policy=config.policy,
+            max_active_per_pair=config.max_active_per_pair,
+        )
+        self.matcher = PimMatcher(self.bank, max_iterations=config.max_iterations)
+        self._src_busy_until: Dict[int, float] = {}
+        self._dst_busy_until: Dict[int, float] = {}
+        self._first_granted: Set[int] = set()
+        self.grants_issued = 0
+        self.rounds_run = 0
+        self.total_iterations = 0
+
+    # ------------------------------------------------------------------ #
+    # Demand intake                                                      #
+    # ------------------------------------------------------------------ #
+
+    def notify(self, demand: Demand) -> None:
+        """Register a demand (explicit /N/ or implicit via RREQ/RMWREQ)."""
+        self.bank.add(demand)
+
+    def can_accept(self, src: int, dst: int) -> bool:
+        return self.bank.can_accept(src, dst)
+
+    @property
+    def pending_demands(self) -> int:
+        return len(self.bank)
+
+    # ------------------------------------------------------------------ #
+    # Busy-window state                                                  #
+    # ------------------------------------------------------------------ #
+
+    def src_free_at(self, src: int) -> float:
+        return self._src_busy_until.get(src, 0.0)
+
+    def dst_free_at(self, dst: int) -> float:
+        return self._dst_busy_until.get(dst, 0.0)
+
+    def busy_sets(self, now: float) -> "tuple[Set[int], Set[int]]":
+        busy_src = {s for s, t in self._src_busy_until.items() if t > now}
+        busy_dst = {d for d, t in self._dst_busy_until.items() if t > now}
+        return busy_src, busy_dst
+
+    def next_release_after(self, now: float) -> Optional[float]:
+        """Earliest future time a busy port frees up (for re-scheduling)."""
+        times = [t for t in self._src_busy_until.values() if t > now]
+        times += [t for t in self._dst_busy_until.values() if t > now]
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------ #
+    # Matching + grant issue                                             #
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, now: float) -> List[IssuedGrant]:
+        """Run one matching round at time ``now`` and issue chunk grants."""
+        if not self.bank:
+            return []
+        busy_src, busy_dst = self.busy_sets(now)
+        result = self.matcher.run(busy_src, busy_dst)
+        self.rounds_run += 1
+        self.total_iterations += result.iterations
+        issued: List[IssuedGrant] = []
+        for demand in result.matches:
+            issued.append(self._issue(demand, now))
+        return issued
+
+    def _issue(self, demand: Demand, now: float) -> IssuedGrant:
+        chunk = min(self.config.chunk_bytes, demand.remaining_bytes)
+        if chunk <= 0:  # pragma: no cover - defensive
+            raise SchedulerError(f"demand {demand} has no remaining bytes")
+        demand.remaining_bytes -= chunk
+        completes = demand.remaining_bytes == 0
+        if completes:
+            self.bank.remove(demand)
+        else:
+            self.bank.reprioritize(demand)
+
+        # Step (7): release the pair l/B after grant issue so the next grant
+        # arrives just in time.  B here is payload throughput: the chunk's
+        # wire footprint includes /M*/ block framing (64 data bits per
+        # 66-bit block), so reserve its true wire time.  With early release
+        # disabled (ablation), hold the pair for a full round trip instead.
+        wire_bytes = block_count_for_message(chunk) * 8
+        hold_ns = wire_bytes * 8.0 / self.config.link_gbps
+        if not self.config.early_release:
+            hold_ns *= 2.0
+        release_at = now + hold_ns
+        self._src_busy_until[demand.src] = release_at
+        self._dst_busy_until[demand.dst] = release_at
+
+        first = False
+        if demand.carried_request is not None and demand.message_uid is not None:
+            if demand.message_uid not in self._first_granted:
+                self._first_granted.add(demand.message_uid)
+                first = True
+                if completes:
+                    self._first_granted.discard(demand.message_uid)
+        if completes and demand.message_uid is not None:
+            self._first_granted.discard(demand.message_uid)
+
+        grant = Grant(
+            src=demand.src,
+            dst=demand.dst,
+            message_id=demand.message_id,
+            chunk_bytes=chunk,
+            granted_at=now,
+            message_uid=demand.message_uid,
+            for_response=demand.carried_request is not None,
+        )
+        self.grants_issued += 1
+        return IssuedGrant(
+            grant=grant,
+            demand=demand,
+            is_first_for_rres=first,
+            completes_message=completes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def average_iterations(self) -> float:
+        if self.rounds_run == 0:
+            return 0.0
+        return self.total_iterations / self.rounds_run

@@ -1,0 +1,168 @@
+"""Demand notification queues (§3.1.1–§3.1.2).
+
+The switch stores one *demand* per pending memory message.  Logically there
+is a single global notification queue, but to sustain up to N insertions
+per cycle and to let PIM read all destinations in parallel, EDM maintains
+N per-destination-port queues.  Each queue is a hardware ordered list
+bounded to ``X * N`` entries, where X is the maximum number of active
+notifications allowed per source-destination pair (senders rate-limit to
+enforce this; X=3 empirically best, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scheduler.ordered_list import CycleMeter, OrderedList
+from repro.core.scheduler.policies import Policy, priority_of
+from repro.errors import SchedulerError
+
+#: Paper's empirically best bound on active notifications per src-dst pair.
+DEFAULT_MAX_ACTIVE_PER_PAIR = 3
+
+
+@dataclass
+class Demand:
+    """One pending message demand held by the switch.
+
+    Attributes:
+        src: sending port (for an RRES demand this is the *memory* node).
+        dst: receiving port.
+        message_id: 8-bit per-pair id.
+        total_bytes: message size from the notification.
+        remaining_bytes: bytes not yet granted.
+        notified_at: arrival time of the (implicit or explicit) notification.
+        message_uid: uid of the underlying MemoryMessage, if any.
+        carried_request: for RRES demands, the buffered RREQ/RMWREQ whose
+            forwarding acts as the first grant (§3.1.1 step 4).
+    """
+
+    src: int
+    dst: int
+    message_id: int
+    total_bytes: int
+    remaining_bytes: int = field(default=-1)
+    notified_at: float = 0.0
+    message_uid: Optional[int] = None
+    carried_request: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise SchedulerError(f"demand must be positive, got {self.total_bytes}")
+        if self.remaining_bytes < 0:
+            self.remaining_bytes = self.total_bytes
+
+    @property
+    def pair(self) -> Tuple[int, int, bool]:
+        """Rate-limit key: (src, dst, is-response).
+
+        A host rate-limits its *own* initiated messages to X per
+        destination; read-response demands (src = the memory node) are
+        limited by the requesting host, so the two directions account
+        separately even when they share a port pair.
+        """
+        return (self.src, self.dst, self.carried_request is not None)
+
+
+class NotificationQueueBank:
+    """The N per-destination notification queues plus pair-count bookkeeping.
+
+    Args:
+        num_ports: N, switch port count.
+        policy: priority policy used to order demands.
+        max_active_per_pair: X, bound enforced per src-dst pair.
+        meter: shared cycle meter.
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        policy: Policy = Policy.SRPT,
+        max_active_per_pair: int = DEFAULT_MAX_ACTIVE_PER_PAIR,
+        meter: Optional[CycleMeter] = None,
+    ) -> None:
+        if num_ports < 2:
+            raise SchedulerError(f"need at least 2 ports, got {num_ports}")
+        if max_active_per_pair <= 0:
+            raise SchedulerError(f"X must be positive, got {max_active_per_pair}")
+        self.num_ports = num_ports
+        self.policy = policy
+        self.max_active_per_pair = max_active_per_pair
+        self.meter = meter if meter is not None else CycleMeter()
+        # Each destination queue holds up to X demands per source for each
+        # of the two directions (initiated writes + read responses).
+        capacity = 2 * max_active_per_pair * num_ports
+        self._queues: List[OrderedList[Demand]] = [
+            OrderedList(capacity=capacity, meter=self.meter) for _ in range(num_ports)
+        ]
+        self._pair_counts: Dict[Tuple[int, int, bool], int] = {}
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    def queue_for(self, dst: int) -> OrderedList[Demand]:
+        self._check_port(dst)
+        return self._queues[dst]
+
+    def pair_count(self, src: int, dst: int, is_response: bool = False) -> int:
+        return self._pair_counts.get((src, dst, is_response), 0)
+
+    def can_accept(self, src: int, dst: int, is_response: bool = False) -> bool:
+        """Whether a new notification for the pair respects the X bound."""
+        return self.pair_count(src, dst, is_response) < self.max_active_per_pair
+
+    def add(self, demand: Demand) -> None:
+        """Insert a demand into its destination's queue."""
+        self._check_port(demand.src)
+        self._check_port(demand.dst)
+        if not self.can_accept(*demand.pair):
+            raise SchedulerError(
+                f"pair {demand.pair} exceeded X={self.max_active_per_pair} active "
+                f"notifications; the sender's rate limiter must hold this demand"
+            )
+        priority = priority_of(self.policy, demand)
+        self._queues[demand.dst].insert(priority, demand)
+        self._pair_counts[demand.pair] = self.pair_count(*demand.pair) + 1
+
+    def remove(self, demand: Demand) -> None:
+        """Remove a fully-granted demand (remaining bytes hit zero)."""
+        self._queues[demand.dst].remove(demand)
+        count = self.pair_count(*demand.pair)
+        if count <= 1:
+            self._pair_counts.pop(demand.pair, None)
+        else:
+            self._pair_counts[demand.pair] = count - 1
+
+    def reprioritize(self, demand: Demand) -> None:
+        """Re-key a demand after its remaining bytes changed (SRPT)."""
+        priority = priority_of(self.policy, demand)
+        self._queues[demand.dst].reprioritize(demand, priority)
+
+    def best_eligible(self, dst: int, src_eligible) -> Optional[Demand]:
+        """Highest-priority demand at ``dst`` whose source passes the filter.
+
+        ``src_eligible`` is a predicate over source port ids (the not_busy
+        check of PIM's first cycle).
+        """
+        queue = self.queue_for(dst)
+        if not queue:
+            return None
+        return queue.find_best(lambda d: src_eligible(d.src))
+
+    def best_priority(self, dst: int) -> Optional[float]:
+        """Priority of the head of ``dst``'s queue, or None when empty."""
+        queue = self.queue_for(dst)
+        if not queue:
+            return None
+        return queue.peek_priority()
+
+    def demands_for_pair(self, src: int, dst: int) -> List[Demand]:
+        """All pending demands between a pair, in priority order."""
+        return [d for d in self.queue_for(dst).as_sorted_list() if d.src == src]
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise SchedulerError(
+                f"port {port} out of range for a {self.num_ports}-port switch"
+            )

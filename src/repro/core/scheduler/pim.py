@@ -1,0 +1,154 @@
+"""Priority-based Parallel Iterative Matching (§3.1.2).
+
+Each PIM iteration runs in exactly 3 scheduler clock cycles:
+
+* **Cycle 1** — every destination port d, in parallel, picks the highest
+  priority *eligible* demand ``m: s -> d`` from its notification queue
+  (both s and d must be not_busy) and issues a matching request to s.
+* **Cycle 2** — every source port s with multiple requests resolves the
+  winner via its sorted request array + priority encoder, in 1 cycle.
+* **Cycle 3** — matched (s, d) pairs are marked busy.
+
+Iterations repeat until no new matches form; PIM converges to a maximal
+matching in ~log2(N) iterations on average.  The matcher works over the
+:class:`NotificationQueueBank` and a caller-supplied port-busy view, so the
+grant engine can layer chunking and timed port release on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.scheduler.notification_queue import Demand, NotificationQueueBank
+from repro.core.scheduler.ordered_list import CycleMeter
+from repro.core.scheduler.priority_encoder import SourceRequestArray
+from repro.core.scheduler.policies import priority_of
+from repro.errors import SchedulerError
+
+#: Clock cycles per PIM iteration in EDM's hardware pipeline (§3.1.2).
+CYCLES_PER_ITERATION = 3
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one full (multi-iteration) matching round."""
+
+    matches: List[Demand] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.iterations * CYCLES_PER_ITERATION
+
+    def pairs(self) -> Set[tuple]:
+        return {d.pair for d in self.matches}
+
+
+class PimMatcher:
+    """Runs priority-PIM rounds over a notification queue bank.
+
+    Args:
+        bank: the per-destination demand queues.
+        meter: shared cycle meter (defaults to the bank's).
+        max_iterations: cap on iterations per round; ``None`` runs until
+            convergence (a maximal matching), which is what the hardware's
+            free-running loop achieves.
+    """
+
+    def __init__(
+        self,
+        bank: NotificationQueueBank,
+        meter: Optional[CycleMeter] = None,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        self.bank = bank
+        self.meter = meter if meter is not None else bank.meter
+        if max_iterations is not None and max_iterations <= 0:
+            raise SchedulerError(f"max_iterations must be positive: {max_iterations}")
+        self.max_iterations = max_iterations
+        self._source_arrays: Dict[int, SourceRequestArray] = {}
+
+    def _source_array(self, src: int) -> SourceRequestArray:
+        array = self._source_arrays.get(src)
+        if array is None:
+            array = SourceRequestArray(self.bank.num_ports, meter=self.meter)
+            self._source_arrays[src] = array
+        return array
+
+    def sync_source_array(self, src: int) -> None:
+        """Refresh src's sorted request array from the queue heads (§3.1.2).
+
+        In hardware this update happens incrementally on every notification
+        arrival or priority change; re-deriving it from the queues keeps the
+        model simple while preserving the resolution order.
+        """
+        array = self._source_array(src)
+        for dst in range(self.bank.num_ports):
+            if dst == src:
+                continue
+            demands = self.bank.demands_for_pair(src, dst)
+            if demands:
+                best = min(priority_of(self.bank.policy, d) for d in demands)
+                array.update_destination(dst, best)
+            else:
+                array.update_destination(dst, None)
+
+    def run(self, busy_src: Set[int], busy_dst: Set[int]) -> MatchResult:
+        """Form (an extension of) a maximal matching given busy port sets.
+
+        ``busy_src`` / ``busy_dst`` are mutated: newly matched ports are
+        added, mirroring cycle 3 of the hardware loop.
+        """
+        result = MatchResult()
+        while True:
+            if (
+                self.max_iterations is not None
+                and result.iterations >= self.max_iterations
+            ):
+                break
+            proposals = self._destination_proposals(busy_src, busy_dst)
+            if not proposals:
+                break
+            result.iterations += 1
+            accepted = self._source_resolution(proposals)
+            for demand in accepted:
+                busy_src.add(demand.src)
+                busy_dst.add(demand.dst)
+                result.matches.append(demand)
+        return result
+
+    def _destination_proposals(
+        self, busy_src: Set[int], busy_dst: Set[int]
+    ) -> Dict[int, List[Demand]]:
+        """Cycle 1: each free destination proposes to one source."""
+        proposals: Dict[int, List[Demand]] = {}
+        for dst in range(self.bank.num_ports):
+            if dst in busy_dst:
+                continue
+            demand = self.bank.best_eligible(dst, lambda s: s not in busy_src)
+            if demand is not None:
+                proposals.setdefault(demand.src, []).append(demand)
+        return proposals
+
+    def _source_resolution(self, proposals: Dict[int, List[Demand]]) -> List[Demand]:
+        """Cycle 2: each source picks its highest-priority proposer."""
+        accepted: List[Demand] = []
+        for src, demands in proposals.items():
+            if len(demands) == 1:
+                accepted.append(demands[0])
+                continue
+            array = self._source_array(src)
+            array.clear_requests()
+            by_dst = {}
+            for demand in demands:
+                array.update_destination(
+                    demand.dst, priority_of(self.bank.policy, demand)
+                )
+                array.request(demand.dst)
+                by_dst[demand.dst] = demand
+            winner_dst = array.resolve()
+            if winner_dst is None:  # pragma: no cover - defensive
+                raise SchedulerError("priority encoder returned no winner")
+            accepted.append(by_dst[winner_dst])
+        return accepted

@@ -1,0 +1,39 @@
+"""Priority-assignment policies (§3.1.1, property 4).
+
+EDM resolves matching conflicts in favour of the highest-priority message
+and picks the priority scheme per workload: FCFS (priority = notification
+time) is optimal for light-tailed workloads; SRPT (priority = remaining
+bytes, state the grant algorithm already maintains) for heavy-tailed ones.
+Lower priority values always win.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.scheduler.notification_queue import Demand
+
+
+class Policy(enum.Enum):
+    """Scheduling policy selector."""
+
+    FCFS = "fcfs"
+    SRPT = "srpt"
+
+
+def priority_of(policy: Policy, demand: "Demand") -> float:
+    """Priority value for ``demand`` under ``policy`` (lower wins)."""
+    if policy == Policy.FCFS:
+        return demand.notified_at
+    if policy == Policy.SRPT:
+        return float(demand.remaining_bytes)
+    raise SchedulerError(f"unknown policy: {policy!r}")
+
+
+def policy_for_workload(heavy_tailed: bool) -> Policy:
+    """The paper's per-workload choice: SRPT iff the workload is heavy-tailed."""
+    return Policy.SRPT if heavy_tailed else Policy.FCFS

@@ -1,0 +1,29 @@
+"""Experiment drivers, one per paper table/figure (see DESIGN.md §4)."""
+
+from repro.experiments.figures import (
+    Figure8aScale,
+    Figure8bScale,
+    format_grid,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8a_loads,
+    run_figure8a_mix,
+    run_figure8b,
+    run_table1,
+    summarize_shape_checks,
+)
+
+__all__ = [
+    "Figure8aScale",
+    "Figure8bScale",
+    "format_grid",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8a_loads",
+    "run_figure8a_mix",
+    "run_figure8b",
+    "run_table1",
+    "summarize_shape_checks",
+]

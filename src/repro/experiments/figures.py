@@ -1,0 +1,295 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each ``run_*`` returns plain data (dict / dataclass rows) suitable both
+for the benchmark harness and for EXPERIMENTS.md; each ``format_*``
+renders the same rows the paper reports.  Experiment scale (node count,
+message count) is parameterized so tests run small and benches run at
+representative size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.kvstore import (
+    FIGURE7_SPLITS,
+    kv_latency_ns,
+    kv_throughput_mrps,
+)
+from repro.fabrics import ClusterConfig, all_fabrics
+from repro.fabrics.base import Fabric, OfferedMessage
+from repro.latency.breakdown import read_breakdown, total_ns, write_breakdown
+from repro.latency.table1 import compute_table1, latency_ratios
+from repro.workloads.synthetic import SyntheticSpec, generate
+from repro.workloads.traces import TraceSpec, all_apps, generate_trace
+from repro.workloads.distributions import fixed_size
+from repro.workloads.ycsb import WORKLOADS
+
+# --------------------------------------------------------------------------- #
+# Table 1 + Figure 5                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def run_table1() -> Dict[str, Dict[str, float]]:
+    """Table 1 totals per stack (ns)."""
+    return {
+        row.stack: {
+            "read_stack_ns": row.read_network_stack_ns,
+            "write_stack_ns": row.write_network_stack_ns,
+            "read_total_ns": row.read_total_ns,
+            "write_total_ns": row.write_total_ns,
+        }
+        for row in compute_table1()
+    }
+
+
+def run_figure5() -> Dict[str, float]:
+    """Figure 5 totals: EDM 64 B read/write end-to-end, from cycle counts."""
+    return {
+        "read_total_ns": total_ns(read_breakdown()),
+        "write_total_ns": total_ns(write_breakdown()),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: KV-store throughput, EDM vs RDMA, YCSB A/B/F                      #
+# --------------------------------------------------------------------------- #
+
+
+def run_figure6(link_gbps: float = 100.0) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for name in ("A", "B", "F"):
+        workload = WORKLOADS[name]
+        edm = kv_throughput_mrps("EDM", workload, link_gbps)
+        rdma = kv_throughput_mrps("RDMA", workload, link_gbps)
+        rows.append(
+            {
+                "workload": name,
+                "edm_mrps": edm.mrps,
+                "rdma_mrps": rdma.mrps,
+                "speedup": edm.mrps / rdma.mrps,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7: KV-store latency vs local:remote placement                         #
+# --------------------------------------------------------------------------- #
+
+
+def run_figure7(link_gbps: float = 100.0) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for local, remote in FIGURE7_SPLITS:
+        row: Dict[str, object] = {"split": f"{local}:{remote}"}
+        for stack in ("EDM", "CXL", "RDMA"):
+            row[stack.lower() + "_ns"] = kv_latency_ns(
+                stack, local, remote, link_gbps=link_gbps
+            ).mean_ns
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8a: normalized latency vs load (and mixed ratios)                     #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Figure8aScale:
+    """Simulation scale for Figure 8a (paper: 144 nodes, 100 Gbps)."""
+
+    num_nodes: int = 144
+    link_gbps: float = 100.0
+    message_count: int = 30_000
+    seed: int = 1
+    deadline_ns: float = 2_000_000_000.0
+    fabric_names: Optional[Sequence[str]] = None  # None = all seven
+
+
+def _selected_fabrics(config: ClusterConfig, names: Optional[Sequence[str]]):
+    fabrics = all_fabrics(config)
+    if names is None:
+        return fabrics
+    wanted = {n.lower() for n in names}
+    return [f for f in fabrics if f.name.lower() in wanted]
+
+
+def _run_point(
+    fabric: Fabric,
+    messages: List[OfferedMessage],
+    deadline_ns: float,
+) -> Dict[str, float]:
+    result = fabric.run_with_baselines(messages, deadline_ns=deadline_ns)
+    out = {"incomplete": float(result.incomplete)}
+    for kind, is_read in (("read", True), ("write", False)):
+        try:
+            out[kind] = result.mean_normalized_latency(is_read=is_read)
+        except Exception:
+            out[kind] = float("nan")
+    return out
+
+
+def run_figure8a_loads(
+    loads: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.9),
+    write_fraction: float = 0.5,
+    scale: Figure8aScale = Figure8aScale(),
+) -> Dict[float, Dict[str, Dict[str, float]]]:
+    """Normalized 64 B read/write latency vs load, all protocols."""
+    config = ClusterConfig(num_nodes=scale.num_nodes, link_gbps=scale.link_gbps)
+    results: Dict[float, Dict[str, Dict[str, float]]] = {}
+    for load in loads:
+        spec = SyntheticSpec(
+            num_nodes=scale.num_nodes,
+            link_gbps=scale.link_gbps,
+            load=load,
+            message_count=scale.message_count,
+            size_cdf=fixed_size(64),
+            write_fraction=write_fraction,
+            seed=scale.seed,
+            incast_fraction=0.0,
+        )
+        messages = generate(spec)
+        results[load] = {
+            fabric.name: _run_point(fabric, messages, scale.deadline_ns)
+            for fabric in _selected_fabrics(config, scale.fabric_names)
+        }
+    return results
+
+
+def run_figure8a_mix(
+    mixes: Sequence[Tuple[int, int]] = ((100, 0), (80, 20), (50, 50), (20, 80), (0, 100)),
+    load: float = 0.8,
+    scale: Figure8aScale = Figure8aScale(),
+) -> Dict[str, Dict[str, float]]:
+    """Mixed write:read ratios at a fixed load (the figure's right panel)."""
+    config = ClusterConfig(num_nodes=scale.num_nodes, link_gbps=scale.link_gbps)
+    results: Dict[str, Dict[str, float]] = {}
+    for write_parts, read_parts in mixes:
+        total = write_parts + read_parts
+        spec = SyntheticSpec(
+            num_nodes=scale.num_nodes,
+            link_gbps=scale.link_gbps,
+            load=load,
+            message_count=scale.message_count,
+            size_cdf=fixed_size(64),
+            write_fraction=write_parts / total,
+            seed=scale.seed,
+            incast_fraction=0.0,
+        )
+        messages = generate(spec)
+        key = f"{write_parts}:{read_parts}"
+        results[key] = {}
+        for fabric in _selected_fabrics(config, scale.fabric_names):
+            result = fabric.run_with_baselines(messages, deadline_ns=scale.deadline_ns)
+            results[key][fabric.name] = result.mean_normalized_latency()
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8b: normalized MCT on application traces                              #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Figure8bScale:
+    """Simulation scale for Figure 8b."""
+
+    num_nodes: int = 144
+    link_gbps: float = 100.0
+    message_count: int = 20_000
+    load: float = 0.6
+    seed: int = 1
+    deadline_ns: float = 5_000_000_000.0
+    fabric_names: Optional[Sequence[str]] = None
+
+
+def run_figure8b(
+    apps: Optional[Sequence[str]] = None,
+    scale: Figure8bScale = Figure8bScale(),
+) -> Dict[str, Dict[str, float]]:
+    """Mean normalized MCT per application trace, all protocols."""
+    config = ClusterConfig(num_nodes=scale.num_nodes, link_gbps=scale.link_gbps)
+    apps = list(apps) if apps is not None else all_apps()
+    results: Dict[str, Dict[str, float]] = {}
+    for app in apps:
+        trace = generate_trace(
+            TraceSpec(
+                app=app,
+                num_nodes=scale.num_nodes,
+                link_gbps=scale.link_gbps,
+                load=scale.load,
+                message_count=scale.message_count,
+                seed=scale.seed,
+            )
+        )
+        results[app] = {}
+        for fabric in _selected_fabrics(config, scale.fabric_names):
+            result = fabric.run(trace, deadline_ns=scale.deadline_ns)
+            ideal = _calibrate_ideal(fabric)
+            results[app][fabric.name] = result.mean_normalized_mct(ideal)
+    return results
+
+
+def _calibrate_ideal(fabric: Fabric):
+    """Per-fabric ideal-MCT model from two unloaded probes.
+
+    The ideal MCT is the completion time a message would see alone in the
+    network (§4.3.2).  Probing one small and one large message per kind
+    yields a linear latency-vs-size model that captures each fabric's own
+    fixed overheads and effective per-byte serialization — including
+    chunking/framing overheads — so normalization is fair across fabrics.
+    """
+    small, large = 64, 65536
+    models = {}
+    for is_read in (True, False):
+        lat_small = fabric.measure_unloaded(small, is_read)
+        lat_large = fabric.measure_unloaded(large, is_read)
+        slope = (lat_large - lat_small) / (large - small)
+        models[is_read] = (lat_small, slope)
+
+    def ideal(message: OfferedMessage) -> float:
+        base, slope = models[message.is_read]
+        return max(1.0, base + slope * (message.size_bytes - small))
+
+    return ideal
+
+
+# --------------------------------------------------------------------------- #
+# Formatting                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def format_grid(results: Dict, title: str) -> str:
+    """Render nested {x: {fabric: value-or-dict}} results as a table."""
+    lines = [title, "=" * len(title)]
+    for x, per_fabric in results.items():
+        parts = []
+        for fabric, value in per_fabric.items():
+            if isinstance(value, dict):
+                detail = " ".join(
+                    f"{k}={v:.2f}" for k, v in value.items() if k != "incomplete"
+                )
+                parts.append(f"{fabric}[{detail}]")
+            else:
+                parts.append(f"{fabric}={value:.2f}")
+        lines.append(f"{x}: " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def summarize_shape_checks() -> Dict[str, bool]:
+    """The paper's headline claims, checked from the analytic models."""
+    ratios = latency_ratios()
+    t1 = run_table1()
+    edm = t1["EDM"]
+    return {
+        "edm_read_about_300ns": abs(edm["read_total_ns"] - 299.52) < 1.0,
+        "edm_write_about_300ns": abs(edm["write_total_ns"] - 296.96) < 1.0,
+        "read_3_7x_vs_raw": abs(ratios["Raw Ethernet"]["read"] - 3.7) < 0.2,
+        "read_6_8x_vs_rdma": abs(ratios["RDMA (RoCEv2)"]["read"] - 6.8) < 0.2,
+        "read_12_7x_vs_tcp": abs(ratios["TCP/IP in hardware"]["read"] - 12.7) < 0.2,
+        "write_1_9x_vs_raw": abs(ratios["Raw Ethernet"]["write"] - 1.9) < 0.2,
+        "write_3_4x_vs_rdma": abs(ratios["RDMA (RoCEv2)"]["write"] - 3.4) < 0.2,
+        "write_6_4x_vs_tcp": abs(ratios["TCP/IP in hardware"]["write"] - 6.4) < 0.2,
+    }

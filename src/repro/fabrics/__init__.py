@@ -1,0 +1,49 @@
+"""Cluster-scale fabric models: EDM plus the six §4.3 baselines."""
+
+from repro.fabrics.base import (
+    ClusterConfig,
+    CompletionRecord,
+    Fabric,
+    FabricResult,
+    OfferedMessage,
+    dominant_sizes,
+)
+from repro.fabrics.cxl import CxlFabric
+from repro.fabrics.dctcp import DctcpFabric
+from repro.fabrics.edm import EdmCluster, EdmFabric
+from repro.fabrics.fastpass import FastpassFabric
+from repro.fabrics.ird import IrdFabric
+from repro.fabrics.pfabric import PfabricFabric
+from repro.fabrics.pfc import PfcFabric
+
+
+def all_fabrics(config: ClusterConfig):
+    """The seven protocols of Figure 8, in the legend's order."""
+    return [
+        EdmFabric(config),
+        IrdFabric(config),
+        PfabricFabric(config),
+        PfcFabric(config),
+        DctcpFabric(config),
+        CxlFabric(config),
+        FastpassFabric(config),
+    ]
+
+
+__all__ = [
+    "ClusterConfig",
+    "CompletionRecord",
+    "CxlFabric",
+    "DctcpFabric",
+    "EdmCluster",
+    "EdmFabric",
+    "Fabric",
+    "FabricResult",
+    "FastpassFabric",
+    "IrdFabric",
+    "OfferedMessage",
+    "PfabricFabric",
+    "PfcFabric",
+    "all_fabrics",
+    "dominant_sizes",
+]

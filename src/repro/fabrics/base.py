@@ -1,0 +1,183 @@
+"""Shared harness for cluster-scale fabric models (§4.3's simulator).
+
+Every fabric (EDM and the six baselines) consumes the same offered
+workload — a list of :class:`OfferedMessage` — and produces a
+:class:`FabricResult` with per-message completion latencies.  Figure 8a
+normalizes each message's latency by the fabric's *unloaded* latency for
+that message kind; Figure 8b normalizes completion time by the *ideal*
+MCT.  Both normalizations are computed here so protocols are compared
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import FabricError
+
+_uid_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class OfferedMessage:
+    """One remote-memory message offered to a fabric.
+
+    Reads model the RREQ/RRES pair: ``size_bytes`` is the *response* size
+    (the RREQ itself is 8 B).  Writes are one-sided WREQ of ``size_bytes``.
+    """
+
+    src: int
+    dst: int
+    size_bytes: int
+    arrival_ns: float
+    is_read: bool
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise FabricError(f"message src == dst == {self.src}")
+        if self.size_bytes <= 0:
+            raise FabricError(f"size must be positive: {self.size_bytes}")
+        if self.arrival_ns < 0:
+            raise FabricError(f"arrival must be >= 0: {self.arrival_ns}")
+
+
+@dataclass
+class CompletionRecord:
+    """Completion of one offered message."""
+
+    message: OfferedMessage
+    completed_at: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.completed_at - self.message.arrival_ns
+
+
+@dataclass
+class FabricResult:
+    """Per-fabric outcome of a workload run."""
+
+    fabric: str
+    records: List[CompletionRecord] = field(default_factory=list)
+    unloaded_read_ns: Optional[float] = None
+    unloaded_write_ns: Optional[float] = None
+    incomplete: int = 0
+
+    def latencies(self, is_read: Optional[bool] = None) -> List[float]:
+        return [
+            r.latency_ns
+            for r in self.records
+            if is_read is None or r.message.is_read == is_read
+        ]
+
+    def mean_latency_ns(self, is_read: Optional[bool] = None) -> float:
+        data = self.latencies(is_read)
+        if not data:
+            raise FabricError(f"no completions recorded for {self.fabric}")
+        return float(np.mean(data))
+
+    def normalized_latencies(self, is_read: Optional[bool] = None) -> List[float]:
+        """Latency / unloaded latency of the same message kind (Fig. 8a)."""
+        out: List[float] = []
+        for record in self.records:
+            if is_read is not None and record.message.is_read != is_read:
+                continue
+            base = (
+                self.unloaded_read_ns
+                if record.message.is_read
+                else self.unloaded_write_ns
+            )
+            if base is None or base <= 0:
+                raise FabricError(
+                    f"{self.fabric} result lacks an unloaded baseline"
+                )
+            out.append(record.latency_ns / base)
+        return out
+
+    def mean_normalized_latency(self, is_read: Optional[bool] = None) -> float:
+        data = self.normalized_latencies(is_read)
+        if not data:
+            raise FabricError(f"no completions recorded for {self.fabric}")
+        return float(np.mean(data))
+
+    def normalized_mct(self, ideal_fn) -> List[float]:
+        """MCT / ideal MCT per message (Fig. 8b); ``ideal_fn(message)->ns``."""
+        return [r.latency_ns / ideal_fn(r.message) for r in self.records]
+
+    def mean_normalized_mct(self, ideal_fn) -> float:
+        data = self.normalized_mct(ideal_fn)
+        if not data:
+            raise FabricError(f"no completions recorded for {self.fabric}")
+        return float(np.mean(data))
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shared cluster parameters (§4.3: 144 nodes, 100 Gbps, single switch)."""
+
+    num_nodes: int = 144
+    link_gbps: float = 100.0
+    propagation_ns: float = 10.0
+    chunk_bytes: int = 256
+    max_active_per_pair: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise FabricError(f"cluster needs >= 2 nodes: {self.num_nodes}")
+        if self.link_gbps <= 0:
+            raise FabricError(f"link rate must be positive: {self.link_gbps}")
+
+
+class Fabric(abc.ABC):
+    """A fabric model that can run an offered workload to completion."""
+
+    name: str = "fabric"
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def run(
+        self,
+        messages: List[OfferedMessage],
+        *,
+        deadline_ns: Optional[float] = None,
+    ) -> FabricResult:
+        """Simulate the workload; returns completions (and the unloaded
+        baselines, which implementations fill in via
+        :meth:`measure_unloaded`)."""
+
+    def measure_unloaded(self, size_bytes: int, is_read: bool) -> float:
+        """Latency of a single message of this kind in an empty network."""
+        probe = OfferedMessage(
+            src=0, dst=1, size_bytes=size_bytes, arrival_ns=0.0, is_read=is_read
+        )
+        result = self.run([probe])
+        if not result.records:
+            raise FabricError(f"{self.name}: unloaded probe did not complete")
+        return result.records[0].latency_ns
+
+    def attach_unloaded_baselines(
+        self, result: FabricResult, read_size: int, write_size: int
+    ) -> None:
+        """Populate the result's unloaded baselines with probe runs."""
+        result.unloaded_read_ns = self.measure_unloaded(read_size, is_read=True)
+        result.unloaded_write_ns = self.measure_unloaded(write_size, is_read=False)
+
+
+def dominant_sizes(messages: List[OfferedMessage]) -> "tuple[int, int]":
+    """Most common (read, write) sizes, for unloaded-baseline probes."""
+    read_sizes: Dict[int, int] = {}
+    write_sizes: Dict[int, int] = {}
+    for m in messages:
+        bucket = read_sizes if m.is_read else write_sizes
+        bucket[m.size_bytes] = bucket.get(m.size_bytes, 0) + 1
+    read = max(read_sizes, key=read_sizes.get) if read_sizes else 64
+    write = max(write_sizes, key=write_sizes.get) if write_sizes else 64
+    return read, write

@@ -1,0 +1,42 @@
+"""DCTCP baseline (§4.3: "a representative sender-driven protocol").
+
+ECN marking at a shallow egress threshold, echoed to senders after ~an
+RTT, drives multiplicative rate decrease with additive recovery — the
+reactive control loop whose feedback lag is exactly what §2.4's
+limitation 6 criticizes: queues must *build* before anyone slows down.
+"""
+
+from __future__ import annotations
+
+from repro.fabrics.base import ClusterConfig
+from repro.fabrics.queueing import (
+    LosslessMode,
+    ProtocolPolicy,
+    QueueDiscipline,
+    QueueingFabric,
+)
+
+#: ECN marking threshold (DCTCP's K), scaled for 100 Gbps links.
+DCTCP_ECN_BYTES = 4_096
+
+#: Egress buffer; overflow drops trigger the RTO path.
+DCTCP_BUFFER_BYTES = 131_072
+
+
+def dctcp_policy() -> ProtocolPolicy:
+    return ProtocolPolicy(
+        name="DCTCP",
+        discipline=QueueDiscipline.FIFO,
+        lossless=LosslessMode.NONE,
+        ecn_threshold_bytes=DCTCP_ECN_BYTES,
+        buffer_bytes=DCTCP_BUFFER_BYTES,
+        rate_recover=0.05,
+        window_ns=1_000.0,
+    )
+
+
+class DctcpFabric(QueueingFabric):
+    """DCTCP over the shared queueing substrate."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        super().__init__(config, dctcp_policy())

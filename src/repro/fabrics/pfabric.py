@@ -1,0 +1,48 @@
+"""pFabric baseline (§4.3: in-network SRPT scheduling on DCTCP's substrate).
+
+Egress queues are priority queues keyed by the flow's remaining bytes,
+buffers are small (near-BDP), and an arriving high-priority frame evicts
+the lowest-priority resident rather than being tail-dropped.  Senders
+transmit at line rate (pFabric pushes all rate control into the switch),
+so dropped frames come back only after the RTO — which, for single-frame
+memory messages, is the whole story (§2.4 limitation 6).
+
+On the §4.3.1 microbenchmark every message is a single minimum-size frame,
+making SRPT ineffective — the paper observes pFabric's curve collapsing
+onto DCTCP's there.
+"""
+
+from __future__ import annotations
+
+from repro.fabrics.base import ClusterConfig
+from repro.fabrics.queueing import (
+    LosslessMode,
+    ProtocolPolicy,
+    QueueDiscipline,
+    QueueingFabric,
+)
+
+#: Small near-BDP egress buffer (pFabric's design point).
+PFABRIC_BUFFER_BYTES = 32_768
+
+#: pFabric still marks at a shallow threshold for its minimal rate control.
+PFABRIC_ECN_BYTES = 4_096
+
+
+def pfabric_policy() -> ProtocolPolicy:
+    return ProtocolPolicy(
+        name="pFabric",
+        discipline=QueueDiscipline.SRPT,
+        lossless=LosslessMode.NONE,
+        ecn_threshold_bytes=PFABRIC_ECN_BYTES,
+        buffer_bytes=PFABRIC_BUFFER_BYTES,
+        rate_recover=0.1,
+        window_ns=1_000.0,
+    )
+
+
+class PfabricFabric(QueueingFabric):
+    """pFabric over the shared queueing substrate."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        super().__init__(config, pfabric_policy())

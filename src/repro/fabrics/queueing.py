@@ -1,0 +1,514 @@
+"""Shared queueing substrate for the MAC-layer baseline fabrics (§4.3).
+
+DCTCP, pFabric, PFC/DCQCN, and CXL all ride on the same machinery:
+
+* **Hosts** inject messages as MAC frames (64 B minimum, MTU segmentation),
+  paced by a per-host rate factor that the protocol's congestion feedback
+  adjusts (multiplicative decrease on marks/CNPs, additive recovery).
+* **The switch** runs the Table 1 L2 pipeline, then either output-queues
+  frames per egress port (reactive protocols) or holds them in per-ingress
+  FIFOs subject to egress pause/credit state (lossless protocols, which is
+  where head-of-line blocking comes from).
+* **Reads** are modelled faithfully as an RREQ frame to the memory node
+  followed by a response message flowing back through the same fabric.
+* **Drops** (finite buffers) trigger sender timeouts — the §2.4 point that
+  single-frame memory messages cannot fast-retransmit.
+
+Protocol personalities plug in via :class:`ProtocolPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import FabricError
+from repro.fabrics.base import (
+    ClusterConfig,
+    CompletionRecord,
+    Fabric,
+    FabricResult,
+    OfferedMessage,
+    dominant_sizes,
+)
+from repro.mac.frame import MTU_PAYLOAD_BYTES, frame_wire_bytes
+from repro.sim.engine import Process, Simulator
+from repro.sim.link import Link
+from repro.switchfab.l2switch import PIPELINE_NS
+
+#: Wire size of an RREQ frame: 8 B payload in a minimum Ethernet frame.
+RREQ_WIRE_BYTES = frame_wire_bytes(8)
+
+#: Retransmission timeout for dropped frames (§2.4: "typically several us").
+DEFAULT_RTO_NS = 5_000.0
+
+
+class QueueDiscipline(enum.Enum):
+    FIFO = "fifo"
+    SRPT = "srpt"  # pFabric: priority = remaining message bytes
+
+
+class LosslessMode(enum.Enum):
+    NONE = "none"        # drops allowed (finite buffer) or unbounded
+    PAUSE = "pause"      # PFC: XOFF/XON thresholds, pause upstream
+    CREDIT = "credit"    # CXL: per-egress credit pool
+
+
+@dataclass
+class ProtocolPolicy:
+    """The knobs that differentiate the MAC-layer baselines."""
+
+    name: str
+    discipline: QueueDiscipline = QueueDiscipline.FIFO
+    lossless: LosslessMode = LosslessMode.NONE
+    ecn_threshold_bytes: Optional[int] = None     # mark above this depth
+    buffer_bytes: Optional[int] = None            # drop above this depth
+    pause_xoff_bytes: int = 20_000
+    pause_xon_bytes: int = 10_000
+    credit_bytes: int = 4_096
+    rate_recover: float = 0.05      # additive recovery step per window
+    window_ns: float = 1_000.0      # control-loop window (≈ one RTT)
+    dctcp_g: float = 1.0 / 16.0     # EWMA gain for the marked fraction
+    min_rate_factor: float = 0.05
+    rto_ns: float = DEFAULT_RTO_NS
+    use_rate_control: bool = True
+
+
+@dataclass
+class FlowMessage:
+    """Per-offered-message bookkeeping inside a baseline run."""
+
+    offered: OfferedMessage
+    data_src: int             # who transmits the payload (dst for reads)
+    data_dst: int
+    data_bytes: int
+    packets_total: int = 0
+    packets_delivered: int = 0
+    remaining_bytes: int = 0
+    request_delivered: bool = False
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.packets_total = -(-self.data_bytes // MTU_PAYLOAD_BYTES)
+        self.remaining_bytes = self.data_bytes
+
+
+@dataclass
+class Frame:
+    """A MAC frame in flight."""
+
+    src: int
+    dst: int
+    wire_bytes: int
+    flow: FlowMessage
+    seq: int
+    is_request: bool = False
+    marked: bool = False
+    enqueued_at: float = 0.0
+
+    @property
+    def priority(self) -> float:
+        """pFabric priority: remaining bytes of the flow (lower wins)."""
+        return float(self.flow.remaining_bytes)
+
+
+class BaselineHost(Process):
+    """A host with a paced transmit queue and congestion state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        link_gbps: float,
+        policy: ProtocolPolicy,
+    ) -> None:
+        super().__init__(sim, f"host{node_id}")
+        self.node_id = node_id
+        self.link_gbps = link_gbps
+        self.policy = policy
+        self.uplink: Optional[Link] = None
+        self.rate_factor = 1.0
+        self.alpha = 0.0
+        self._queue: Deque[Frame] = deque()
+        self._next_send_at = 0.0
+        self._pump_armed = False
+        self._window_armed = False
+        self._acks_total = 0
+        self._acks_marked = 0
+
+    def inject(self, frame: Frame) -> None:
+        self._queue.append(frame)
+        self._pump()
+
+    def inject_front(self, frame: Frame) -> None:
+        self._queue.appendleft(frame)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._pump_armed or not self._queue:
+            return
+        delay = max(0.0, self._next_send_at - self.now)
+        self._pump_armed = True
+        self.schedule(delay, self._send_head)
+
+    def _send_head(self) -> None:
+        self._pump_armed = False
+        if not self._queue:
+            return
+        frame = self._queue.popleft()
+        if self.uplink is None:
+            raise FabricError(f"host {self.node_id} has no uplink")
+        self.uplink.send(frame, frame.wire_bytes)
+        # Pacing: the next frame may start once this one would finish at the
+        # host's current (possibly reduced) rate.
+        paced = frame.wire_bytes * 8.0 / (self.link_gbps * self.rate_factor)
+        self._next_send_at = self.now + paced
+        self._pump()
+
+    # -- congestion feedback (DCTCP control law) ------------------------ #
+
+    def on_ack(self, marked: bool) -> None:
+        """Per-frame feedback: accumulate the marked fraction.
+
+        Every ``window_ns`` the host updates its EWMA of the marked
+        fraction (DCTCP's alpha) and cuts its rate by ``1 - alpha/2`` if
+        any marks arrived, else recovers additively — so mild congestion
+        produces mild slowdown, the property that keeps DCTCP stable at
+        high load.
+        """
+        if not self.policy.use_rate_control:
+            return
+        self._acks_total += 1
+        if marked:
+            self._acks_marked += 1
+        if not self._window_armed:
+            self._window_armed = True
+            self.schedule(self.policy.window_ns, self._close_window)
+
+    def _close_window(self) -> None:
+        self._window_armed = False
+        if self._acks_total == 0:
+            return
+        fraction = self._acks_marked / self._acks_total
+        g = self.policy.dctcp_g
+        self.alpha = (1 - g) * self.alpha + g * fraction
+        if self._acks_marked > 0:
+            self.rate_factor = max(
+                self.policy.min_rate_factor,
+                self.rate_factor * (1 - self.alpha / 2),
+            )
+        else:
+            self.rate_factor = min(
+                1.0, self.rate_factor + self.policy.rate_recover
+            )
+        self._acks_total = 0
+        self._acks_marked = 0
+        if self._queue or self.rate_factor < 1.0:
+            self._window_armed = True
+            self.schedule(self.policy.window_ns, self._close_window)
+
+
+@dataclass
+class _EgressState:
+    queued: List[Frame] = field(default_factory=list)
+    queued_bytes: int = 0
+    paused: bool = False
+    credits: int = 0
+    serving: bool = False
+
+
+class BaselineSwitch(Process):
+    """The shared switch: L2 pipeline + per-protocol queue behaviour."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: ProtocolPolicy,
+        pipeline_ns: float = PIPELINE_NS,
+    ) -> None:
+        super().__init__(sim, f"{policy.name}-switch")
+        self.policy = policy
+        self.pipeline_ns = pipeline_ns
+        self.egress_links: Dict[int, Link] = {}
+        self.egress: Dict[int, _EgressState] = {}
+        self.ingress: Dict[int, Deque[Frame]] = {}
+        self._ingress_blocked: Dict[int, bool] = {}
+        self.drops = 0
+        self.on_mark: Optional[Callable[[Frame], None]] = None
+        self.on_drop: Optional[Callable[[Frame], None]] = None
+
+    def attach_port(self, node_id: int, link: Link) -> None:
+        self.egress_links[node_id] = link
+        state = _EgressState()
+        state.credits = self.policy.credit_bytes
+        self.egress[node_id] = state
+        self.ingress[node_id] = deque()
+        self._ingress_blocked[node_id] = False
+
+    # -- ingress --------------------------------------------------------- #
+
+    def on_ingress(self, frame: Frame) -> None:
+        self.schedule(self.pipeline_ns, lambda: self._after_pipeline(frame))
+
+    def _after_pipeline(self, frame: Frame) -> None:
+        if self.policy.lossless == LosslessMode.NONE:
+            self._enqueue_egress(frame)
+        else:
+            self.ingress[frame.src].append(frame)
+            self._advance_ingress(frame.src)
+
+    def _advance_ingress(self, src: int) -> None:
+        """Move ingress head frames to egress while permitted (HoL point)."""
+        queue = self.ingress[src]
+        while queue:
+            head = queue[0]
+            state = self.egress[head.dst]
+            if self.policy.lossless == LosslessMode.PAUSE and state.paused:
+                return  # head-of-line blocked
+            if (
+                self.policy.lossless == LosslessMode.CREDIT
+                and state.credits < head.wire_bytes
+            ):
+                return  # out of credits: blocked
+            queue.popleft()
+            if self.policy.lossless == LosslessMode.CREDIT:
+                state.credits -= head.wire_bytes
+            self._enqueue_egress(head)
+
+    # -- egress ------------------------------------------------------------ #
+
+    def _enqueue_egress(self, frame: Frame) -> None:
+        state = self.egress[frame.dst]
+        depth = state.queued_bytes
+        if (
+            self.policy.buffer_bytes is not None
+            and depth + frame.wire_bytes > self.policy.buffer_bytes
+        ):
+            self._drop(frame, state)
+            return
+        if (
+            self.policy.ecn_threshold_bytes is not None
+            and depth >= self.policy.ecn_threshold_bytes
+        ):
+            frame.marked = True
+            if self.on_mark is not None:
+                self.on_mark(frame)
+        frame.enqueued_at = self.now
+        if self.policy.discipline == QueueDiscipline.SRPT:
+            # Insert by priority (stable for equal priorities).  Index 0 is
+            # the frame currently on the wire — it cannot be displaced.
+            floor = 1 if state.serving and state.queued else 0
+            idx = len(state.queued)
+            for i, other in enumerate(state.queued):
+                if i < floor:
+                    continue
+                if frame.priority < other.priority:
+                    idx = i
+                    break
+            state.queued.insert(idx, frame)
+        else:
+            state.queued.append(frame)
+        state.queued_bytes += frame.wire_bytes
+        self._update_pause(frame.dst)
+        if len(state.queued) == 1:
+            self._serve(frame.dst)
+
+    def _drop(self, frame: Frame, state: _EgressState) -> None:
+        if self.policy.discipline == QueueDiscipline.SRPT and state.queued:
+            # pFabric drops the *lowest priority* resident frame instead,
+            # if the arriving frame outranks it.
+            worst_idx = max(
+                range(len(state.queued)), key=lambda i: state.queued[i].priority
+            )
+            worst = state.queued[worst_idx]
+            if frame.priority < worst.priority and worst_idx != 0:
+                state.queued.pop(worst_idx)
+                state.queued_bytes -= worst.wire_bytes
+                self.drops += 1
+                if self.on_drop is not None:
+                    self.on_drop(worst)
+                self._enqueue_egress(frame)
+                return
+        self.drops += 1
+        if self.on_drop is not None:
+            self.on_drop(frame)
+
+    def _serve(self, port: int) -> None:
+        state = self.egress[port]
+        if state.serving or not state.queued:
+            return
+        state.serving = True
+        frame = state.queued[0]
+        link = self.egress_links[port]
+        link.send(frame, frame.wire_bytes)
+        done_at = link.busy_until
+        self.sim.schedule_at(done_at, lambda: self._served(port, frame))
+
+    def _served(self, port: int, frame: Frame) -> None:
+        state = self.egress[port]
+        state.serving = False
+        state.queued.pop(0)
+        state.queued_bytes -= frame.wire_bytes
+        if self.policy.lossless == LosslessMode.CREDIT:
+            state.credits += frame.wire_bytes
+            self._kick_all_ingress()
+        self._update_pause(port)
+        if state.queued:
+            self._serve(port)
+
+    def _update_pause(self, port: int) -> None:
+        if self.policy.lossless != LosslessMode.PAUSE:
+            return
+        state = self.egress[port]
+        if not state.paused and state.queued_bytes >= self.policy.pause_xoff_bytes:
+            state.paused = True
+        elif state.paused and state.queued_bytes <= self.policy.pause_xon_bytes:
+            state.paused = False
+            self._kick_all_ingress()
+
+    def _kick_all_ingress(self) -> None:
+        for src in self.ingress:
+            if self.ingress[src]:
+                self._advance_ingress(src)
+
+    def total_queued_bytes(self) -> int:
+        return sum(s.queued_bytes for s in self.egress.values())
+
+
+class QueueingFabric(Fabric):
+    """A complete baseline fabric parameterized by a ProtocolPolicy."""
+
+    def __init__(self, config: ClusterConfig, policy: ProtocolPolicy) -> None:
+        super().__init__(config)
+        self.policy = policy
+        self.name = policy.name
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        messages: List[OfferedMessage],
+        *,
+        deadline_ns: Optional[float] = None,
+    ) -> FabricResult:
+        sim = Simulator()
+        policy = self.policy
+        switch = BaselineSwitch(sim, policy)
+        hosts: Dict[int, BaselineHost] = {}
+        result = FabricResult(fabric=self.name)
+
+        for node in range(self.config.num_nodes):
+            host = BaselineHost(sim, node, self.config.link_gbps, policy)
+            uplink = Link(
+                sim, self.config.link_gbps, self.config.propagation_ns,
+                receiver=switch.on_ingress, name=f"up{node}",
+            )
+            host.uplink = uplink
+            downlink = Link(
+                sim, self.config.link_gbps, self.config.propagation_ns,
+                name=f"down{node}",
+            )
+            switch.attach_port(node, downlink)
+            hosts[node] = host
+
+        # An ACK/ECN echo reaches the sender about one RTT after delivery.
+        feedback_delay = 2 * self.config.propagation_ns + PIPELINE_NS
+
+        def deliver(frame: Frame) -> None:
+            flow = frame.flow
+            if frame.is_request:
+                if flow.request_delivered:
+                    return  # duplicate from a retransmit race
+                flow.request_delivered = True
+                _launch_data(flow)
+                return
+            # Per-frame ACK back to the data sender (carries the ECN echo).
+            sender = hosts[frame.src]
+            was_marked = frame.marked
+            sim.schedule_at(
+                sim.now + feedback_delay, lambda: sender.on_ack(was_marked)
+            )
+            flow.packets_delivered += 1
+            flow.remaining_bytes = max(
+                0, flow.remaining_bytes - MTU_PAYLOAD_BYTES
+            )
+            if (
+                flow.packets_delivered >= flow.packets_total
+                and flow.completed_at is None
+            ):
+                flow.completed_at = sim.now
+                result.records.append(
+                    CompletionRecord(message=flow.offered, completed_at=sim.now)
+                )
+
+        for node in range(self.config.num_nodes):
+            switch.egress_links[node].connect(deliver)
+
+        def _launch_data(flow: FlowMessage) -> None:
+            host = hosts[flow.data_src]
+            remaining = flow.data_bytes
+            seq = 0
+            while remaining > 0:
+                payload = min(remaining, MTU_PAYLOAD_BYTES)
+                frame = Frame(
+                    src=flow.data_src,
+                    dst=flow.data_dst,
+                    wire_bytes=frame_wire_bytes(payload),
+                    flow=flow,
+                    seq=seq,
+                )
+                host.inject(frame)
+                remaining -= payload
+                seq += 1
+
+        def launch(message: OfferedMessage) -> None:
+            if message.is_read:
+                flow = FlowMessage(
+                    offered=message,
+                    data_src=message.dst,
+                    data_dst=message.src,
+                    data_bytes=message.size_bytes,
+                )
+                rreq = Frame(
+                    src=message.src,
+                    dst=message.dst,
+                    wire_bytes=RREQ_WIRE_BYTES,
+                    flow=flow,
+                    seq=-1,
+                    is_request=True,
+                )
+                hosts[message.src].inject(rreq)
+            else:
+                flow = FlowMessage(
+                    offered=message,
+                    data_src=message.src,
+                    data_dst=message.dst,
+                    data_bytes=message.size_bytes,
+                )
+                _launch_data(flow)
+
+        def on_drop(frame: Frame) -> None:
+            # A dropped single-frame memory message can only recover via
+            # timeout (§2.4 limitation 6).
+            sender = hosts[frame.src]
+            sim.schedule_at(
+                sim.now + self.policy.rto_ns, lambda: sender.inject(frame)
+            )
+
+        switch.on_drop = on_drop
+
+        for message in sorted(messages, key=lambda m: m.arrival_ns):
+            sim.schedule_at(message.arrival_ns, lambda m=message: launch(m))
+        sim.run(until=deadline_ns)
+        result.incomplete = len(messages) - len(result.records)
+        return result
+
+    def run_with_baselines(
+        self, messages: List[OfferedMessage], **kwargs
+    ) -> FabricResult:
+        result = self.run(messages, **kwargs)
+        read_size, write_size = dominant_sizes(messages)
+        self.attach_unloaded_baselines(result, read_size, write_size)
+        return result

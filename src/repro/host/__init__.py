@@ -1,0 +1,43 @@
+"""EDM host network stack: NIC, state tables, rate limiting, wire units."""
+
+from repro.host.nic import (
+    Completion,
+    CompletionRouter,
+    EdmHostNic,
+    HostConfig,
+)
+from repro.host.state import (
+    MegaMessage,
+    MessageIdAllocator,
+    MessageState,
+    MessageStateTable,
+    NotificationRateLimiter,
+    batch_for_destination,
+)
+from repro.host.wire import (
+    TransferKind,
+    WireTransfer,
+    chunk_transfer,
+    grant_transfer,
+    notify_transfer,
+    request_transfer,
+)
+
+__all__ = [
+    "Completion",
+    "CompletionRouter",
+    "EdmHostNic",
+    "HostConfig",
+    "MegaMessage",
+    "MessageIdAllocator",
+    "MessageState",
+    "MessageStateTable",
+    "NotificationRateLimiter",
+    "TransferKind",
+    "WireTransfer",
+    "batch_for_destination",
+    "chunk_transfer",
+    "grant_transfer",
+    "notify_transfer",
+    "request_transfer",
+]

@@ -1,0 +1,52 @@
+"""Published cycle counts for EDM's host and switch datapaths (§3.2.1-§3.2.2).
+
+Every constant here is a number stated in the paper; the latency models
+(Table 1, Figure 5) and the DES stacks consume these so the reproduction's
+unloaded numbers are the paper's numbers by construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import PCS_CYCLE_NS
+
+# -- host TX (§3.2.1) ------------------------------------------------------ #
+
+#: Generating an /N/ or an RREQ /M*/ block: read message queue (1) + create
+#: block while writing the state table in parallel (1).
+HOST_TX_REQUEST_CYCLES = 2
+
+#: Reading a grant from the grant queue: 4 cycles (RX->TX clock domain cross).
+HOST_GRANT_QUEUE_READ_CYCLES = 4
+
+#: Generating an /M*/ data block for an RRES/WREQ chunk: read state table (1)
+#: + read data buffer (1) + create block (1).
+HOST_TX_DATA_CYCLES = 3
+
+# -- host RX (§3.2.1) ------------------------------------------------------ #
+
+#: Processing a received /G/ block: parse (1) + add to grant queue (1).
+HOST_RX_GRANT_CYCLES = 2
+
+#: Processing a received RREQ /M*/ block: /G/-style processing + 1 extra
+#: cycle to hand it to the memory controller.
+HOST_RX_RREQ_CYCLES = HOST_RX_GRANT_CYCLES + 1
+
+#: Processing a received RRES/WREQ /M*/ block: parse (1) + extract address
+#: (1) + deliver to application/memory controller (1).
+HOST_RX_DATA_CYCLES = 3
+
+# -- switch (§3.2.2) ------------------------------------------------------- #
+
+#: Generating a /G/ block at the switch.
+SWITCH_TX_GRANT_CYCLES = 1
+
+#: Identifying /N/, /G/, /M*/ blocks on receive (block-type check).
+SWITCH_RX_CLASSIFY_CYCLES = 1
+
+#: RX->TX circuit forwarding (clock-domain movement), no L2 processing.
+SWITCH_FORWARD_CYCLES = 4
+
+
+def ns(cycles: int, cycle_ns: float = PCS_CYCLE_NS) -> float:
+    """Convert host/switch datapath cycles to nanoseconds."""
+    return cycles * cycle_ns

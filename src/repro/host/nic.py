@@ -1,0 +1,437 @@
+"""EDM host network stack as a discrete-event process (§3.2.1).
+
+One :class:`EdmHostNic` per node.  Compute-side operations (read / write /
+rmw) enter the message queue, receive a message id, and leave as /M*/ or
+/N/ transfers after the published TX cycle counts.  The RX side processes
+grants, forwarded requests (at memory nodes, where the forwarded RREQ acts
+as the implicit first grant), and data chunks, with the published RX cycle
+counts.  Memory nodes own a :class:`~repro.memctrl.MemoryController` and
+execute requests atomically.
+
+Completion semantics follow the paper: a read completes when the last RRES
+byte reaches the compute node; a write completes when the last WREQ byte
+reaches the memory node (writes are one-sided).  A
+:class:`CompletionRouter` carries the cross-node callback plumbing the
+simulation needs for the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.clock import PCS_CYCLE_NS
+from repro.core.messages import (
+    Grant,
+    MemoryMessage,
+    MessageType,
+    Notification,
+    make_rmwreq,
+    make_rreq,
+    make_rres,
+    make_wreq,
+)
+from repro.core.opcodes import RmwOpcode
+from repro.errors import HostError
+from repro.host import cycles
+from repro.host.state import (
+    MessageIdAllocator,
+    MessageState,
+    MessageStateTable,
+    NotificationRateLimiter,
+)
+from repro.host.wire import (
+    TransferKind,
+    WireTransfer,
+    chunk_transfer,
+    notify_transfer,
+    request_transfer,
+)
+from repro.memctrl.controller import MemoryController
+from repro.sim.engine import Process, Simulator
+from repro.sim.link import Link
+
+CompletionCallback = Callable[["Completion"], None]
+
+
+@dataclass
+class Completion:
+    """Delivered to the issuing application when an operation finishes."""
+
+    message: MemoryMessage
+    completed_at: float
+    latency_ns: float
+    data: bytes = b""
+    timed_out: bool = False
+
+
+class CompletionRouter:
+    """Routes completion callbacks across nodes (simulation plumbing)."""
+
+    def __init__(self) -> None:
+        self._callbacks: Dict[int, Tuple[CompletionCallback, float]] = {}
+
+    def register(self, uid: int, callback: CompletionCallback, created_at: float) -> None:
+        if uid in self._callbacks:
+            raise HostError(f"completion for message uid {uid} already registered")
+        self._callbacks[uid] = (callback, created_at)
+
+    def fire(
+        self,
+        uid: int,
+        message: MemoryMessage,
+        now: float,
+        data: bytes = b"",
+        timed_out: bool = False,
+    ) -> None:
+        entry = self._callbacks.pop(uid, None)
+        if entry is None:
+            return  # already completed (e.g. race with a timeout)
+        callback, created_at = entry
+        callback(
+            Completion(
+                message=message,
+                completed_at=now,
+                latency_ns=now - created_at,
+                data=data,
+                timed_out=timed_out,
+            )
+        )
+
+    def pending(self) -> int:
+        return len(self._callbacks)
+
+
+@dataclass
+class HostConfig:
+    """Per-host parameters."""
+
+    chunk_bytes: int = 256
+    max_active_per_pair: int = 3
+    cycle_ns: float = PCS_CYCLE_NS
+    read_timeout_ns: Optional[float] = None
+
+
+class EdmHostNic(Process):
+    """The EDM host NIC: compute API + memory-node service path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        router: CompletionRouter,
+        config: HostConfig = HostConfig(),
+    ) -> None:
+        super().__init__(sim, f"nic{node_id}")
+        self.node_id = node_id
+        self.router = router
+        self.config = config
+        self.uplink: Optional[Link] = None
+        # Outbound: messages this node initiated, keyed by (dst, own id).
+        self.state_table = MessageStateTable()
+        # Serving: RRES messages this node generates for peers' requests,
+        # keyed by (requester, requester's id) — a separate id namespace.
+        self.serving_table = MessageStateTable()
+        self.ids = MessageIdAllocator()
+        self.limiter = NotificationRateLimiter(config.max_active_per_pair)
+        self.controller: Optional[MemoryController] = None
+        self._timeout_handles: Dict[int, object] = {}
+        self.messages_sent = 0
+        self.messages_completed = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring                                                             #
+    # ------------------------------------------------------------------ #
+
+    def attach_uplink(self, link: Link) -> None:
+        self.uplink = link
+
+    def attach_memory(self, controller: MemoryController) -> None:
+        """Make this node a memory node."""
+        self.controller = controller
+
+    def _cycles(self, count: int) -> float:
+        return count * self.config.cycle_ns
+
+    def _send(self, transfer: WireTransfer, after_ns: float) -> None:
+        if self.uplink is None:
+            raise HostError(f"node {self.node_id} has no uplink attached")
+        self.schedule(after_ns, lambda: self.uplink.send(transfer, transfer.wire_bytes))
+
+    # ------------------------------------------------------------------ #
+    # compute-side API (§2.3's four message types)                       #
+    # ------------------------------------------------------------------ #
+
+    def read(
+        self,
+        dst: int,
+        address: int,
+        nbytes: int,
+        on_complete: CompletionCallback,
+    ) -> MemoryMessage:
+        """Issue a remote read; RREQ doubles as the demand notification."""
+        message_id = self.ids.allocate(dst)
+        message = make_rreq(
+            self.node_id, dst, address, nbytes,
+            message_id=message_id, created_at=self.now,
+        )
+        self._launch_request(message, on_complete)
+        return message
+
+    def rmw(
+        self,
+        dst: int,
+        address: int,
+        opcode: RmwOpcode,
+        args: Tuple[int, ...],
+        on_complete: CompletionCallback,
+    ) -> MemoryMessage:
+        """Issue an atomic read-modify-write (§3.2.1)."""
+        message_id = self.ids.allocate(dst)
+        message = make_rmwreq(
+            self.node_id, dst, address, opcode, args,
+            message_id=message_id, created_at=self.now,
+        )
+        self._launch_request(message, on_complete)
+        return message
+
+    def write(
+        self,
+        dst: int,
+        address: int,
+        nbytes: int,
+        on_complete: CompletionCallback,
+    ) -> MemoryMessage:
+        """Issue a remote write; sends an explicit /N/ and awaits grants."""
+        message_id = self.ids.allocate(dst)
+        message = make_wreq(
+            self.node_id, dst, address, nbytes,
+            message_id=message_id, created_at=self.now,
+        )
+
+        def _on_done(completion: Completion) -> None:
+            # The write finished at the memory node: free this sender's
+            # notification slot toward dst before surfacing the completion.
+            self._release_limiter_slot(dst)
+            on_complete(completion)
+
+        self.router.register(message.uid, _on_done, self.now)
+        self.state_table.add(
+            dst, message_id,
+            MessageState(message=message, completion_callback=on_complete),
+        )
+        if self.limiter.admit(message):
+            self._send_notification(message)
+        self.messages_sent += 1
+        return message
+
+    def _launch_request(
+        self, message: MemoryMessage, on_complete: CompletionCallback
+    ) -> None:
+        self.router.register(message.uid, on_complete, self.now)
+        self.state_table.add(
+            message.dst, message.message_id,
+            MessageState(message=message, completion_callback=on_complete),
+        )
+        if self.limiter.admit(message):
+            self._send_request(message)
+        self.messages_sent += 1
+        if self.config.read_timeout_ns is not None:
+            handle = self.schedule(
+                self.config.read_timeout_ns,
+                lambda: self._on_read_timeout(message),
+            )
+            self._timeout_handles[message.uid] = handle
+
+    def _send_request(self, message: MemoryMessage) -> None:
+        # 2 cycles: read message queue + create block / write state table.
+        self._send(request_transfer(message), self._cycles(cycles.HOST_TX_REQUEST_CYCLES))
+
+    def _send_notification(self, message: MemoryMessage) -> None:
+        notification = Notification(
+            src=message.src,
+            dst=message.dst,
+            message_id=message.message_id,
+            size_bytes=message.size_bytes,
+            notified_at=self.now,
+            message_uid=message.uid,
+        )
+        self._send(
+            notify_transfer(notification),
+            self._cycles(cycles.HOST_TX_REQUEST_CYCLES),
+        )
+
+    def _on_read_timeout(self, message: MemoryMessage) -> None:
+        """Deadlock guard (§3.3): reply NULL if the memory node never does."""
+        self._timeout_handles.pop(message.uid, None)
+        if not self.state_table.contains(message.dst, message.message_id):
+            return
+        self.state_table.remove(message.dst, message.message_id)
+        self.ids.release(message.dst, message.message_id)
+        self._release_limiter_slot(message.dst)
+        self.router.fire(message.uid, message, self.now, data=b"", timed_out=True)
+
+    # ------------------------------------------------------------------ #
+    # RX path                                                            #
+    # ------------------------------------------------------------------ #
+
+    def on_wire(self, transfer: WireTransfer) -> None:
+        """Entry point for transfers delivered by the switch egress link."""
+        if transfer.kind == TransferKind.GRANT:
+            assert transfer.grant is not None
+            self._on_grant(transfer.grant)
+        elif transfer.kind == TransferKind.REQUEST:
+            assert transfer.message is not None
+            self._on_forwarded_request(transfer.message)
+        elif transfer.kind == TransferKind.DATA_CHUNK:
+            assert transfer.message is not None
+            self._on_data_chunk(transfer)
+        else:
+            raise HostError(f"host received unexpected transfer kind {transfer.kind}")
+
+    # -- grants --------------------------------------------------------- #
+
+    def _on_grant(self, grant: Grant) -> None:
+        """A /G/ block: send the granted chunk of a pending WREQ or RRES."""
+        delay = self._cycles(
+            cycles.HOST_RX_GRANT_CYCLES
+            + cycles.HOST_GRANT_QUEUE_READ_CYCLES
+            + cycles.HOST_TX_DATA_CYCLES
+        )
+        self.schedule(delay, lambda: self._emit_chunk(grant))
+
+    def _emit_chunk(self, grant: Grant) -> None:
+        table = self.serving_table if grant.for_response else self.state_table
+        state = table.get(grant.dst, grant.message_id)
+        message = state.message
+        if message.mtype == MessageType.RRES and not state.data_ready:
+            # Memory still reading: hold the grant until data is buffered.
+            state.pending_grants.append(grant)
+            return
+        offset = state.bytes_sent
+        state.bytes_sent += grant.chunk_bytes
+        final = state.bytes_sent >= message.size_bytes
+        transfer = chunk_transfer(message, grant.chunk_bytes, offset, final)
+        if self.uplink is None:
+            raise HostError(f"node {self.node_id} has no uplink attached")
+        self.uplink.send(transfer, transfer.wire_bytes)
+        if final:
+            # Sender-side state is done; receiver-side completion fires when
+            # the last chunk lands.
+            table.remove(grant.dst, grant.message_id)
+            if message.mtype == MessageType.WREQ:
+                self.ids.release(grant.dst, grant.message_id)
+
+    # -- forwarded requests (memory node) ------------------------------- #
+
+    def _on_forwarded_request(self, message: MemoryMessage) -> None:
+        """An RREQ/RMWREQ forwarded by the switch = implicit first grant."""
+        if self.controller is None:
+            raise HostError(
+                f"node {self.node_id} received a {message.mtype.value} but has "
+                f"no memory controller attached"
+            )
+        proc = self._cycles(cycles.HOST_RX_RREQ_CYCLES)
+        self.schedule(proc, lambda: self._service_request(message))
+
+    def _service_request(self, message: MemoryMessage) -> None:
+        assert self.controller is not None
+        result, done_at = self.controller.execute_message(message, self.now)
+        rres = make_rres(message, created_at=self.now)
+        state = MessageState(message=rres, data_ready=False)
+        self.serving_table.add(rres.dst, rres.message_id, state)
+        wait = max(0.0, done_at - self.now)
+        self.schedule(wait, lambda: self._rres_data_ready(rres, result.data))
+
+    def _rres_data_ready(self, rres: MemoryMessage, data: bytes) -> None:
+        state = self.serving_table.get(rres.dst, rres.message_id)
+        state.data_ready = True
+        # The forwarded request acted as the grant for the first chunk
+        # (§3.1.1 step 4): emit it now.  4 grant-queue cycles + 3 TX cycles.
+        first_chunk = min(self.config.chunk_bytes, rres.size_bytes)
+        delay = self._cycles(
+            cycles.HOST_GRANT_QUEUE_READ_CYCLES + cycles.HOST_TX_DATA_CYCLES
+        )
+        grant = Grant(
+            src=rres.src,
+            dst=rres.dst,
+            message_id=rres.message_id,
+            chunk_bytes=first_chunk,
+            granted_at=self.now,
+            message_uid=rres.uid,
+            for_response=True,
+        )
+        self.schedule(delay, lambda: self._emit_chunk_if_pending(state, grant))
+
+    def _emit_chunk_if_pending(self, state: MessageState, grant: Grant) -> None:
+        self._emit_chunk(grant)
+        while state.pending_grants:
+            self._emit_chunk(state.pending_grants.pop(0))
+
+    # -- data chunks ----------------------------------------------------- #
+
+    def _on_data_chunk(self, transfer: WireTransfer) -> None:
+        proc = self._cycles(cycles.HOST_RX_DATA_CYCLES)
+        self.schedule(proc, lambda: self._absorb_chunk(transfer))
+
+    def _absorb_chunk(self, transfer: WireTransfer) -> None:
+        message = transfer.message
+        assert message is not None
+        if message.mtype == MessageType.WREQ:
+            self._absorb_write_chunk(transfer)
+        elif message.mtype == MessageType.RRES:
+            self._absorb_response_chunk(transfer)
+        else:
+            raise HostError(f"unexpected data chunk of type {message.mtype.value}")
+
+    def _absorb_write_chunk(self, transfer: WireTransfer) -> None:
+        """WREQ data landing at the memory node."""
+        if self.controller is None:
+            raise HostError(
+                f"node {self.node_id} received WREQ data but has no memory"
+            )
+        message = transfer.message
+        assert message is not None
+        if transfer.is_final_chunk:
+            self.controller.write(
+                message.address, b"\x00" * message.size_bytes, self.now
+            )
+            self.messages_completed += 1
+            self.router.fire(message.uid, message, self.now)
+
+    def _absorb_response_chunk(self, transfer: WireTransfer) -> None:
+        """RRES data landing back at the compute node."""
+        message = transfer.message
+        assert message is not None
+        peer = message.src  # the memory node
+        if not self.state_table.contains(peer, message.message_id):
+            return  # request already timed out
+        state = self.state_table.get(peer, message.message_id)
+        state.bytes_received += transfer.chunk_bytes
+        if state.bytes_received >= message.size_bytes:
+            original = state.message
+            self.state_table.remove(peer, message.message_id)
+            self.ids.release(peer, message.message_id)
+            handle = self._timeout_handles.pop(original.uid, None)
+            if handle is not None:
+                handle.cancel()
+            self._release_limiter_slot(peer)
+            self.messages_completed += 1
+            self.router.fire(
+                original.uid, original, self.now, data=transfer.chunk_bytes * b"\x00"
+            )
+
+    # -- rate limiter plumbing ------------------------------------------- #
+
+    def _release_limiter_slot(self, dst: int) -> None:
+        backlogged = self.limiter.complete(dst)
+        if backlogged is None:
+            return
+        if backlogged.mtype == MessageType.WREQ:
+            self._send_notification(backlogged)
+        else:
+            self._send_request(backlogged)
+
+    def notify_write_completed(self, dst: int) -> None:
+        """Called by the cluster when one of our writes finished remotely."""
+        self._release_limiter_slot(dst)

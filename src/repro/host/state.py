@@ -1,0 +1,174 @@
+"""Host-side state: message state table, rate limiter, and batching (§3.2.1).
+
+* The **message state table**, indexed by (destination, message id), holds
+  the local buffer address for pending reads and the (remote address, data
+  buffer) pair for pending writes/responses.
+* The **rate limiter** enforces at most X active notifications per
+  destination, which is what bounds the switch's per-port notification
+  queues to X*N entries (§3.1.2).
+* **Mega-message batching** folds several small pending messages to the
+  same destination into one notification, reducing /N/ overhead (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.messages import MemoryMessage
+from repro.errors import HostError
+
+StateKey = Tuple[int, int]  # (peer node id, message id)
+
+
+@dataclass
+class MessageState:
+    """One entry of the message state table."""
+
+    message: MemoryMessage
+    local_address: int = 0
+    data_ready: bool = False
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    completion_callback: Optional[Callable[..., None]] = None
+    pending_grants: List["object"] = field(default_factory=list)
+
+
+class MessageStateTable:
+    """Table indexed by <message destination, message id> (§3.2.1)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[StateKey, MessageState] = {}
+
+    def add(self, peer: int, message_id: int, state: MessageState) -> None:
+        key = (peer, message_id)
+        if key in self._entries:
+            raise HostError(f"state table already holds an entry for {key}")
+        self._entries[key] = state
+
+    def get(self, peer: int, message_id: int) -> MessageState:
+        key = (peer, message_id)
+        try:
+            return self._entries[key]
+        except KeyError as exc:
+            raise HostError(f"no state table entry for {key}") from exc
+
+    def contains(self, peer: int, message_id: int) -> bool:
+        return (peer, message_id) in self._entries
+
+    def remove(self, peer: int, message_id: int) -> MessageState:
+        key = (peer, message_id)
+        try:
+            return self._entries.pop(key)
+        except KeyError as exc:
+            raise HostError(f"no state table entry for {key}") from exc
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class MessageIdAllocator:
+    """Allocates the 8-bit per-destination message ids and recycles them."""
+
+    def __init__(self, id_space: int = 256) -> None:
+        self._free: Dict[int, Deque[int]] = {}
+        self._id_space = id_space
+
+    def allocate(self, peer: int) -> int:
+        free = self._free.setdefault(peer, deque(range(self._id_space)))
+        if not free:
+            raise HostError(
+                f"message-id space exhausted toward peer {peer}; "
+                f"complete some messages before issuing more"
+            )
+        return free.popleft()
+
+    def release(self, peer: int, message_id: int) -> None:
+        self._free.setdefault(peer, deque()).append(message_id)
+
+
+class NotificationRateLimiter:
+    """Caps active notifications per destination at X (§3.1.2).
+
+    Messages beyond the cap wait in a per-destination backlog and are
+    released as earlier notifications complete.
+    """
+
+    def __init__(self, max_active: int = 3) -> None:
+        if max_active <= 0:
+            raise HostError(f"X must be positive, got {max_active}")
+        self.max_active = max_active
+        self._active: Dict[int, int] = {}
+        self._backlog: Dict[int, Deque[MemoryMessage]] = {}
+
+    def active_toward(self, dst: int) -> int:
+        return self._active.get(dst, 0)
+
+    def backlog_depth(self, dst: int) -> int:
+        return len(self._backlog.get(dst, ()))
+
+    def admit(self, message: MemoryMessage) -> bool:
+        """Try to admit a message; False means it was backlogged."""
+        if self.active_toward(message.dst) < self.max_active:
+            self._active[message.dst] = self.active_toward(message.dst) + 1
+            return True
+        self._backlog.setdefault(message.dst, deque()).append(message)
+        return False
+
+    def complete(self, dst: int) -> Optional[MemoryMessage]:
+        """Mark one active notification toward ``dst`` done.
+
+        Returns a backlogged message that may now be admitted (already
+        counted as active), or None.
+        """
+        active = self.active_toward(dst)
+        if active <= 0:
+            raise HostError(f"no active notifications toward {dst} to complete")
+        backlog = self._backlog.get(dst)
+        if backlog:
+            return backlog.popleft()  # slot transfers to the backlogged message
+        self._active[dst] = active - 1
+        return None
+
+
+@dataclass
+class MegaMessage:
+    """Several small messages to one destination batched under one
+    notification (§3.1.2's "mega" message optimization)."""
+
+    dst: int
+    members: List[MemoryMessage] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.size_bytes for m in self.members)
+
+
+def batch_for_destination(
+    pending: List[MemoryMessage],
+    dst: int,
+    max_batch_bytes: int = 4096,
+) -> Tuple[Optional[MegaMessage], List[MemoryMessage]]:
+    """Fold pending small messages toward ``dst`` into one mega message.
+
+    Returns (mega, leftovers).  Only write requests are batched — reads
+    need no notification at all.
+    """
+    if max_batch_bytes <= 0:
+        raise HostError(f"batch bound must be positive: {max_batch_bytes}")
+    members: List[MemoryMessage] = []
+    leftovers: List[MemoryMessage] = []
+    total = 0
+    for message in pending:
+        if message.dst != dst:
+            leftovers.append(message)
+            continue
+        if total + message.size_bytes <= max_batch_bytes:
+            members.append(message)
+            total += message.size_bytes
+        else:
+            leftovers.append(message)
+    if not members:
+        return None, leftovers
+    return MegaMessage(dst=dst, members=members), leftovers

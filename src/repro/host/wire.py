@@ -1,0 +1,106 @@
+"""Wire-transfer units exchanged between EDM hosts and the switch.
+
+The DES stacks move :class:`WireTransfer` bundles rather than individual
+66-bit block events — one transfer per /N/, per /G/, per request message,
+or per granted data chunk.  Each transfer knows its block count, so link
+transmission delays remain bit-faithful (a block carries 64 payload bits
+and serializes in one 2.56 ns PCS cycle at 25 GbE).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.messages import Grant, MemoryMessage, Notification
+from repro.errors import HostError
+from repro.phy.encoder import block_count_for_message
+
+
+class TransferKind(enum.Enum):
+    """What a wire transfer carries."""
+
+    NOTIFY = "notify"        # /N/ block
+    GRANT = "grant"          # /G/ block
+    REQUEST = "request"      # RREQ or RMWREQ as /M*/ blocks
+    DATA_CHUNK = "chunk"     # a granted chunk of a WREQ or RRES
+
+
+@dataclass
+class WireTransfer:
+    """One contiguous run of EDM blocks on a link."""
+
+    kind: TransferKind
+    src: int
+    dst: int
+    blocks: int
+    message: Optional[MemoryMessage] = None
+    grant: Optional[Grant] = None
+    notification: Optional[Notification] = None
+    chunk_bytes: int = 0
+    chunk_offset: int = 0
+    is_final_chunk: bool = False
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0:
+            raise HostError(f"transfer must carry at least one block: {self.blocks}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes of link occupancy (64 payload bits per block)."""
+        return self.blocks * 8
+
+
+def request_transfer(message: MemoryMessage) -> WireTransfer:
+    """Wrap an RREQ/RMWREQ into its /M*/ block run."""
+    return WireTransfer(
+        kind=TransferKind.REQUEST,
+        src=message.src,
+        dst=message.dst,
+        blocks=block_count_for_message(message.size_bytes),
+        message=message,
+    )
+
+
+def notify_transfer(notification: Notification) -> WireTransfer:
+    """Wrap an explicit demand notification into its /N/ block."""
+    return WireTransfer(
+        kind=TransferKind.NOTIFY,
+        src=notification.src,
+        dst=notification.dst,
+        blocks=1,
+        notification=notification,
+    )
+
+
+def grant_transfer(grant: Grant, to_port: int) -> WireTransfer:
+    """Wrap a grant into its /G/ block, addressed to the granted sender."""
+    return WireTransfer(
+        kind=TransferKind.GRANT,
+        src=-1,  # grants originate at the switch, not a host port
+        dst=to_port,
+        blocks=1,
+        grant=grant,
+    )
+
+
+def chunk_transfer(
+    message: MemoryMessage,
+    chunk_bytes: int,
+    chunk_offset: int,
+    is_final: bool,
+) -> WireTransfer:
+    """Wrap one granted data chunk of a WREQ/RRES into /M*/ blocks."""
+    if chunk_bytes <= 0:
+        raise HostError(f"chunk must be positive: {chunk_bytes}")
+    return WireTransfer(
+        kind=TransferKind.DATA_CHUNK,
+        src=message.src,
+        dst=message.dst,
+        blocks=block_count_for_message(chunk_bytes),
+        message=message,
+        chunk_bytes=chunk_bytes,
+        chunk_offset=chunk_offset,
+        is_final_chunk=is_final,
+    )

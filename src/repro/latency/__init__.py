@@ -1,0 +1,45 @@
+"""Analytical latency models: Table 1 stacks and Figure 5 breakdowns."""
+
+from repro.latency.breakdown import (
+    Segment,
+    cycles_by_location,
+    format_breakdown,
+    read_breakdown,
+    total_ns,
+    write_breakdown,
+)
+from repro.latency.components import (
+    StackModel,
+    all_stacks,
+    edm_stack,
+    raw_ethernet_stack,
+    rdma_stack,
+    tcpip_stack,
+)
+from repro.latency.table1 import (
+    Table1Row,
+    compute_table1,
+    format_table1,
+    latency_ratios,
+    stage_table,
+)
+
+__all__ = [
+    "Segment",
+    "StackModel",
+    "Table1Row",
+    "all_stacks",
+    "compute_table1",
+    "cycles_by_location",
+    "edm_stack",
+    "format_breakdown",
+    "format_table1",
+    "latency_ratios",
+    "raw_ethernet_stack",
+    "rdma_stack",
+    "read_breakdown",
+    "stage_table",
+    "tcpip_stack",
+    "total_ns",
+    "write_breakdown",
+]

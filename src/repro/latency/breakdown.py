@@ -1,0 +1,109 @@
+"""Figure 5: cycle-level breakdown of EDM's fabric latency for 64 B ops.
+
+The figure walks a 64 B read and write through compute node, switch, and
+memory node, annotating each datapath segment with its cycle count
+(2.56 ns cycles) plus per-hop transmission + propagation delay (TD+PD).
+Segments and counts come from §3.2.1-§3.2.2 via :mod:`repro.host.cycles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.clock import PCS_CYCLE_NS, PROPAGATION_DELAY_NS, TESTBED_LINK_GBPS
+from repro.host import cycles
+from repro.latency.components import PMA_PMD_NS
+from repro.phy.encoder import block_count_for_message
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One annotated segment of Figure 5's timeline."""
+
+    location: str   # 'compute' | 'switch' | 'memory' | 'wire'
+    label: str
+    cycles: int = 0
+    wire_ns: float = 0.0
+
+    @property
+    def ns(self) -> float:
+        return self.cycles * PCS_CYCLE_NS + self.wire_ns
+
+
+def _hop_ns(message_bytes: int, link_gbps: float = TESTBED_LINK_GBPS) -> float:
+    """TD+PD for one hop: block serialization + propagation + PMA/PMD."""
+    blocks = block_count_for_message(message_bytes)
+    td = blocks * 64 / link_gbps
+    return td + PROPAGATION_DELAY_NS + 2 * PMA_PMD_NS
+
+
+def read_breakdown(
+    response_bytes: int = 64,
+    request_bytes: int = 8,
+    link_gbps: float = TESTBED_LINK_GBPS,
+) -> List[Segment]:
+    """The READ timeline of Figure 5 (RREQ out, RRES back)."""
+    return [
+        Segment("compute", "generate RREQ /M*/ blocks", cycles.HOST_TX_REQUEST_CYCLES),
+        Segment("wire", "RREQ: TD+PD to switch", wire_ns=_hop_ns(request_bytes, link_gbps)),
+        Segment("switch", "classify RREQ", cycles.SWITCH_RX_CLASSIFY_CYCLES),
+        Segment("switch", "forward RREQ (implicit grant)", cycles.SWITCH_FORWARD_CYCLES),
+        Segment("wire", "RREQ: TD+PD to memory", wire_ns=_hop_ns(request_bytes, link_gbps)),
+        Segment("memory", "RREQ RX -> memory controller", cycles.HOST_RX_RREQ_CYCLES),
+        Segment("memory", "grant-queue read (clock-domain cross)", cycles.HOST_GRANT_QUEUE_READ_CYCLES),
+        Segment("memory", "generate RRES /M*/ data blocks", cycles.HOST_TX_DATA_CYCLES),
+        Segment("wire", "RRES: TD+PD to switch", wire_ns=_hop_ns(response_bytes, link_gbps)),
+        Segment("switch", "classify RRES", cycles.SWITCH_RX_CLASSIFY_CYCLES),
+        Segment("switch", "circuit forward RRES", cycles.SWITCH_FORWARD_CYCLES),
+        Segment("wire", "RRES: TD+PD to compute", wire_ns=_hop_ns(response_bytes, link_gbps)),
+        Segment("compute", "absorb RRES data", cycles.HOST_RX_DATA_CYCLES),
+    ]
+
+
+def write_breakdown(
+    write_bytes: int = 64,
+    link_gbps: float = TESTBED_LINK_GBPS,
+) -> List[Segment]:
+    """The WRITE timeline of Figure 5 (notify, grant, WREQ)."""
+    notify_bytes = 5
+    grant_bytes = 5
+    return [
+        Segment("compute", "generate /N/ block", cycles.HOST_TX_REQUEST_CYCLES),
+        Segment("wire", "/N/: TD+PD to switch", wire_ns=_hop_ns(notify_bytes, link_gbps)),
+        Segment("switch", "classify /N/", cycles.SWITCH_RX_CLASSIFY_CYCLES),
+        Segment("switch", "matching + generate /G/", cycles.SWITCH_TX_GRANT_CYCLES + 3),
+        Segment("wire", "/G/: TD+PD to compute", wire_ns=_hop_ns(grant_bytes, link_gbps)),
+        Segment("compute", "process /G/", cycles.HOST_RX_GRANT_CYCLES),
+        Segment("compute", "grant-queue read (clock-domain cross)", cycles.HOST_GRANT_QUEUE_READ_CYCLES),
+        Segment("compute", "generate WREQ /M*/ data blocks", cycles.HOST_TX_DATA_CYCLES),
+        Segment("wire", "WREQ: TD+PD to switch", wire_ns=_hop_ns(write_bytes, link_gbps)),
+        Segment("switch", "classify WREQ", cycles.SWITCH_RX_CLASSIFY_CYCLES),
+        Segment("switch", "circuit forward WREQ", cycles.SWITCH_FORWARD_CYCLES),
+        Segment("wire", "WREQ: TD+PD to memory", wire_ns=_hop_ns(write_bytes, link_gbps)),
+        Segment("memory", "absorb WREQ data", cycles.HOST_RX_DATA_CYCLES),
+    ]
+
+
+def total_ns(segments: List[Segment]) -> float:
+    return sum(s.ns for s in segments)
+
+
+def cycles_by_location(segments: List[Segment]) -> dict:
+    """Aggregate cycle counts per location (the figure's annotations)."""
+    out: dict = {}
+    for s in segments:
+        if s.cycles:
+            out[s.location] = out.get(s.location, 0) + s.cycles
+    return out
+
+
+def format_breakdown(segments: List[Segment], title: str) -> str:
+    lines = [title, "-" * len(title)]
+    t = 0.0
+    for s in segments:
+        t += s.ns
+        annot = f"{s.cycles} cycles" if s.cycles else f"{s.wire_ns:.2f} ns wire"
+        lines.append(f"  t={t:7.2f} ns  {s.location:<8} {s.label:<42} [{annot}]")
+    lines.append(f"  total: {t:.2f} ns")
+    return "\n".join(lines)

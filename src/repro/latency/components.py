@@ -1,0 +1,197 @@
+"""Per-stage latency components for the four network stacks (Table 1).
+
+Table 1 decomposes the unloaded fabric latency of a remote read/write into
+per-location stages for TCP/IP (hardware-offloaded), RDMA (RoCEv2), raw
+Ethernet (MAC+PHY only), and EDM.  All constants below are the published
+numbers; a read generally traverses each stage twice (RREQ out, RRES back)
+while a write traverses it once — except EDM's write, whose explicit
+notify/grant exchange adds a control round trip (§3.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.clock import PCS_CYCLE_NS
+
+# -- published per-stage constants (Table 1) -------------------------------- #
+
+#: Hardware-offloaded TCP/IP protocol stack, per traversal (data path only).
+TCPIP_PROTOCOL_NS = 666.2
+
+#: RoCEv2 protocol stack, per traversal (data path only).
+RDMA_PROTOCOL_NS = 230.2
+
+#: Ethernet MAC layer, per traversal (3 PCS cycles at 25 GbE).
+MAC_NS = 7.68
+
+#: Standard Ethernet PCS, per traversal.
+PCS_STANDARD_NS = 7.68
+
+#: EDM's leaner PCS crossing (2 cycles — EDM logic replaces parts of the
+#: standard path between encoder and scrambler).
+PCS_EDM_NS = 5.12
+
+#: L2 forwarding pipeline, per traversal (parse 87 + match 202 + manager 93
+#: + crossbar 18).
+L2_FORWARDING_NS = 400.0
+
+#: PMA+PMD + transceiver delay, per crossing (TX or RX side of one hop).
+PMA_PMD_NS = 19.0
+
+#: One-hop propagation delay in the testbed.
+PROP_NS = 10.0
+
+# -- EDM extra processing (the "blue" +x ns terms of Table 1), in cycles ---- #
+
+#: Compute node, read: RREQ generation (2) + RRES absorb (3) = 5 cycles.
+EDM_READ_COMPUTE_EXTRA_CYCLES = 5
+
+#: Switch, read: classify+forward for RREQ and RRES plus grant handling =
+#: 11 cycles (Table 1: +28.16 ns).
+EDM_READ_SWITCH_EXTRA_CYCLES = 11
+
+#: Memory node, read: RREQ RX (3) + grant-queue read (4) + chunk TX (3).
+EDM_READ_MEMORY_EXTRA_CYCLES = 10
+
+#: Compute node, write: /N/ gen (2) + /G/ RX (2) + grant-queue read (4) +
+#: chunk TX (3) = 11 cycles (Table 1: +28.16 ns).
+EDM_WRITE_COMPUTE_EXTRA_CYCLES = 11
+
+#: Switch, write: /N/ classify (1) + matching (3) + /G/ gen (1) + WREQ
+#: classify (1) + forward (4) + 1 = 11 cycles (Table 1: +28.16 ns).
+EDM_WRITE_SWITCH_EXTRA_CYCLES = 11
+
+#: Memory node, write: WREQ data absorb (3 cycles, Table 1: +7.68 ns).
+EDM_WRITE_MEMORY_EXTRA_CYCLES = 3
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One row fragment of Table 1.
+
+    ``crossings`` is the per-operation traversal count (the "2×" in
+    "2×666.2 ns"); ``extra_ns`` holds EDM's additive processing terms.
+    """
+
+    location: str      # 'compute' | 'switch' | 'memory' | 'wire'
+    component: str     # 'protocol' | 'mac' | 'pcs' | 'l2' | 'pma_pmd' | 'prop'
+    crossings: int
+    ns_per_crossing: float
+    extra_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        return self.crossings * self.ns_per_crossing + self.extra_ns
+
+    def describe(self) -> str:
+        base = f"{self.crossings}x{self.ns_per_crossing:g} ns"
+        if self.extra_ns:
+            base += f" + {self.extra_ns:g} ns"
+        return f"{self.location}/{self.component}: {base}"
+
+
+@dataclass(frozen=True)
+class StackModel:
+    """A named stack with its read and write stage lists."""
+
+    name: str
+    read_stages: List[Stage]
+    write_stages: List[Stage]
+
+    def read_total_ns(self) -> float:
+        return sum(s.total_ns for s in self.read_stages)
+
+    def write_total_ns(self) -> float:
+        return sum(s.total_ns for s in self.write_stages)
+
+    def network_stack_ns(self, op: str) -> float:
+        """Table 1's "Network Stack Latency" row: everything but the wire."""
+        stages = self.read_stages if op == "read" else self.write_stages
+        return sum(s.total_ns for s in stages if s.location != "wire")
+
+
+def _cyc(n: int) -> float:
+    return n * PCS_CYCLE_NS
+
+
+def _wire_stages(pma_crossings: int, prop_hops: int) -> List[Stage]:
+    return [
+        Stage("wire", "pma_pmd", pma_crossings, PMA_PMD_NS),
+        Stage("wire", "prop", prop_hops, PROP_NS),
+    ]
+
+
+def _mac_stack(name: str, protocol_ns: float) -> StackModel:
+    """Builder for the three MAC-layer stacks (TCP/IP, RDMA, raw)."""
+    def host(crossings: int) -> List[Stage]:
+        stages = []
+        if protocol_ns > 0:
+            stages.append(Stage("compute", "protocol", crossings, protocol_ns))
+        stages += [
+            Stage("compute", "mac", crossings, MAC_NS),
+            Stage("compute", "pcs", crossings, PCS_STANDARD_NS),
+        ]
+        return stages
+
+    def switch(traversals: int) -> List[Stage]:
+        return [
+            Stage("switch", "l2", traversals, L2_FORWARDING_NS),
+            Stage("switch", "mac", 2 * traversals, MAC_NS),
+            Stage("switch", "pcs", 2 * traversals, PCS_STANDARD_NS),
+        ]
+
+    def memory(crossings: int) -> List[Stage]:
+        stages = []
+        if protocol_ns > 0:
+            stages.append(Stage("memory", "protocol", crossings, protocol_ns))
+        stages += [
+            Stage("memory", "mac", crossings, MAC_NS),
+            Stage("memory", "pcs", crossings, PCS_STANDARD_NS),
+        ]
+        return stages
+
+    read = host(2) + switch(2) + memory(2) + _wire_stages(8, 4)
+    write = host(1) + switch(1) + memory(1) + _wire_stages(4, 2)
+    return StackModel(name=name, read_stages=read, write_stages=write)
+
+
+def tcpip_stack() -> StackModel:
+    """Hardware-offloaded TCP/IP over Ethernet."""
+    return _mac_stack("TCP/IP in hardware", TCPIP_PROTOCOL_NS)
+
+
+def rdma_stack() -> StackModel:
+    """RDMA over Converged Ethernet (RoCEv2)."""
+    return _mac_stack("RDMA (RoCEv2)", RDMA_PROTOCOL_NS)
+
+
+def raw_ethernet_stack() -> StackModel:
+    """Standard Ethernet MAC + PHY only, no protocol stack."""
+    return _mac_stack("Raw Ethernet", 0.0)
+
+
+def edm_stack() -> StackModel:
+    """EDM: no protocol stack, no MAC, no L2 — PHY processing only.
+
+    The write path's wire stages cover four one-way hops (notify, grant,
+    WREQ to switch, WREQ to memory), hence the same 8 PMA crossings and 4
+    propagation hops as a read (Table 1's EDM write column).
+    """
+    read = [
+        Stage("compute", "pcs", 2, PCS_EDM_NS, _cyc(EDM_READ_COMPUTE_EXTRA_CYCLES)),
+        Stage("switch", "pcs", 4, PCS_EDM_NS, _cyc(EDM_READ_SWITCH_EXTRA_CYCLES)),
+        Stage("memory", "pcs", 2, PCS_EDM_NS, _cyc(EDM_READ_MEMORY_EXTRA_CYCLES)),
+    ] + _wire_stages(8, 4)
+    write = [
+        Stage("compute", "pcs", 3, PCS_EDM_NS, _cyc(EDM_WRITE_COMPUTE_EXTRA_CYCLES)),
+        Stage("switch", "pcs", 4, PCS_EDM_NS, _cyc(EDM_WRITE_SWITCH_EXTRA_CYCLES)),
+        Stage("memory", "pcs", 1, PCS_EDM_NS, _cyc(EDM_WRITE_MEMORY_EXTRA_CYCLES)),
+    ] + _wire_stages(8, 4)
+    return StackModel(name="EDM", read_stages=read, write_stages=write)
+
+
+def all_stacks() -> List[StackModel]:
+    """The four Table 1 columns, in the paper's order."""
+    return [tcpip_stack(), rdma_stack(), raw_ethernet_stack(), edm_stack()]

@@ -1,0 +1,25 @@
+"""Ethernet MAC layer — the baseline path that EDM's PHY stack bypasses."""
+
+from repro.mac.frame import (
+    ETHERTYPE_MEMORY,
+    FCS_BYTES,
+    HEADER_BYTES,
+    JUMBO_PAYLOAD_BYTES,
+    MIN_PAYLOAD_BYTES,
+    MTU_PAYLOAD_BYTES,
+    EthernetFrame,
+    frame_wire_bytes,
+    frames_needed,
+)
+
+__all__ = [
+    "ETHERTYPE_MEMORY",
+    "EthernetFrame",
+    "FCS_BYTES",
+    "HEADER_BYTES",
+    "JUMBO_PAYLOAD_BYTES",
+    "MIN_PAYLOAD_BYTES",
+    "MTU_PAYLOAD_BYTES",
+    "frame_wire_bytes",
+    "frames_needed",
+]

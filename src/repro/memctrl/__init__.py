@@ -1,0 +1,6 @@
+"""Memory-node substrate: DRAM timing model and memory controller."""
+
+from repro.memctrl.controller import MemoryController, MemoryOperationResult
+from repro.memctrl.dram import Dram, DramTiming
+
+__all__ = ["Dram", "DramTiming", "MemoryController", "MemoryOperationResult"]

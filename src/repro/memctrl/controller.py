@@ -1,0 +1,108 @@
+"""Memory controller: executes remote requests against the DRAM substrate.
+
+At the memory node, the NIC hands RREQ/WREQ/RMWREQ messages to this
+controller.  RMW operations run atomically (§3.2.1): read, modify per the
+opcode, write back — never preempted by other incoming requests.  The
+controller serializes accesses like a single DDR4 channel would, exposing
+the completion time of each operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.messages import MemoryMessage, MessageType
+from repro.core.opcodes import RmwOpcode, RmwResult, execute
+from repro.errors import MemoryError_
+from repro.memctrl.dram import Dram, DramTiming
+
+
+@dataclass
+class MemoryOperationResult:
+    """Outcome of one controller operation."""
+
+    data: bytes
+    latency_ns: float
+    rmw: Optional[RmwResult] = None
+
+
+class MemoryController:
+    """A single-channel memory controller with atomic RMW support.
+
+    The controller tracks when the channel frees up (``busy_until``) so a
+    simulation can account for controller queuing under load; callers pass
+    the current time and receive the operation's completion time.
+    """
+
+    def __init__(self, size_bytes: int, timing: DramTiming = DramTiming()) -> None:
+        self.dram = Dram(size_bytes, timing)
+        self.busy_until = 0.0
+        self.operations = 0
+
+    def _start_time(self, now: float) -> float:
+        return max(now, self.busy_until)
+
+    def read(self, address: int, length: int, now: float = 0.0) -> Tuple[MemoryOperationResult, float]:
+        """Read; returns (result, completion_time)."""
+        start = self._start_time(now)
+        data, latency = self.dram.read(address, length)
+        completion = start + latency
+        self.busy_until = completion
+        self.operations += 1
+        return MemoryOperationResult(data=data, latency_ns=latency), completion
+
+    def write(self, address: int, data: bytes, now: float = 0.0) -> Tuple[MemoryOperationResult, float]:
+        """Write; returns (result, completion_time)."""
+        start = self._start_time(now)
+        latency = self.dram.write(address, data)
+        completion = start + latency
+        self.busy_until = completion
+        self.operations += 1
+        return MemoryOperationResult(data=b"", latency_ns=latency), completion
+
+    def read_modify_write(
+        self,
+        address: int,
+        opcode: RmwOpcode,
+        args: Tuple[int, ...],
+        now: float = 0.0,
+    ) -> Tuple[MemoryOperationResult, float]:
+        """Atomic RMW (§3.2.1): read + modify + conditional write-back.
+
+        The three steps occupy the channel without preemption; the write
+        back is skipped when a CAS fails, saving its latency.
+        """
+        start = self._start_time(now)
+        old_value, read_latency = self.dram.read_word(address)
+        result = execute(opcode, old_value, args)
+        total = read_latency
+        if result.new_value != old_value or (result.swapped and opcode == RmwOpcode.SWAP):
+            total += self.dram.write_word(address, result.new_value)
+        completion = start + total
+        self.busy_until = completion
+        self.operations += 1
+        op = MemoryOperationResult(
+            data=result.response.to_bytes(8, "big"),
+            latency_ns=total,
+            rmw=result,
+        )
+        return op, completion
+
+    def execute_message(
+        self, message: MemoryMessage, now: float = 0.0
+    ) -> Tuple[MemoryOperationResult, float]:
+        """Dispatch a remote-memory message to the right operation."""
+        if message.mtype == MessageType.RREQ:
+            return self.read(message.address, message.read_bytes, now)
+        if message.mtype == MessageType.WREQ:
+            # The simulation carries sizes, not real payloads; write zeros of
+            # the declared length when no payload bytes accompany the model.
+            data = b"\x00" * message.size_bytes
+            return self.write(message.address, data, now)
+        if message.mtype == MessageType.RMWREQ:
+            assert message.opcode is not None
+            return self.read_modify_write(
+                message.address, message.opcode, message.rmw_args, now
+            )
+        raise MemoryError_(f"controller cannot execute a {message.mtype.value}")

@@ -1,0 +1,162 @@
+"""PCS receive-side demultiplexer and decoder (§3.2).
+
+EDM RX sits between the descrambler and the standard decoder.  It walks the
+incoming 66-bit block stream, *extracts* memory traffic (/M*/, /N/, /G/
+blocks) for the EDM pipeline, and *replaces* them with idle characters
+before handing the remainder to the standard decoder — keeping the
+standard stack unaware that its IFG was borrowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PhyError
+from repro.phy.blocks import BlockType, PhyBlock, idle_block
+
+
+@dataclass
+class ExtractedMessage:
+    """A memory message reassembled from /M*/ blocks."""
+
+    payload: bytes
+    block_count: int
+
+
+@dataclass
+class DemuxResult:
+    """Output of one demultiplexing pass over a block stream."""
+
+    memory_messages: List[ExtractedMessage] = field(default_factory=list)
+    notifications: List[bytes] = field(default_factory=list)
+    grants: List[bytes] = field(default_factory=list)
+    ethernet_blocks: List[PhyBlock] = field(default_factory=list)
+
+
+class EdmRxDemux:
+    """Stateful RX demultiplexer.
+
+    Between an /MS/ and its /MT/, data blocks belong to the in-flight
+    memory message even though they are bit-identical to /D/ blocks; the
+    demux supplies that context.  Because EDM preempts at block granularity
+    a memory message may interleave with a non-memory frame — the demux
+    therefore tracks the memory reassembly state independently of the
+    Ethernet stream it passes through.
+    """
+
+    def __init__(self) -> None:
+        self._mem_buffer: Optional[bytearray] = None
+        self._mem_blocks = 0
+        self._in_ethernet_frame = False
+
+    def push(self, block: PhyBlock, result: DemuxResult) -> None:
+        """Process one received block into ``result``."""
+        if block.is_control and block.block_type == BlockType.MEM_SINGLE:
+            result.memory_messages.append(
+                ExtractedMessage(payload=bytes(block.payload.rstrip(b"\x00") or b"\x00"), block_count=1)
+            )
+            result.ethernet_blocks.append(idle_block())
+            return
+        if block.is_control and block.block_type == BlockType.MEM_START:
+            if self._mem_buffer is not None:
+                raise PhyError("nested /MS/ without intervening /MT/")
+            self._mem_buffer = bytearray(block.payload)
+            self._mem_blocks = 1
+            result.ethernet_blocks.append(idle_block())
+            return
+        if block.is_control and block.block_type == BlockType.MEM_TERM:
+            if self._mem_buffer is None:
+                raise PhyError("/MT/ without a preceding /MS/")
+            self._mem_buffer.extend(block.payload)
+            self._mem_blocks += 1
+            result.memory_messages.append(
+                ExtractedMessage(
+                    payload=bytes(self._mem_buffer), block_count=self._mem_blocks
+                )
+            )
+            self._mem_buffer = None
+            self._mem_blocks = 0
+            result.ethernet_blocks.append(idle_block())
+            return
+        if block.is_control and block.block_type == BlockType.NOTIFY:
+            result.notifications.append(bytes(block.payload))
+            result.ethernet_blocks.append(idle_block())
+            return
+        if block.is_control and block.block_type == BlockType.GRANT:
+            result.grants.append(bytes(block.payload))
+            result.ethernet_blocks.append(idle_block())
+            return
+        if block.is_data and self._mem_buffer is not None:
+            # An /MD/ block of the in-flight memory message.  A memory
+            # message is transmitted contiguously once its /MS/ is on the
+            # wire (the TX mux preempts *frames*, never an in-flight memory
+            # message), so every data block between /MS/ and /MT/ is /MD/.
+            self._mem_buffer.extend(block.payload)
+            self._mem_blocks += 1
+            result.ethernet_blocks.append(idle_block())
+            return
+        # -- standard Ethernet stream ---------------------------------- #
+        if block.is_control and block.block_type == BlockType.START:
+            self._in_ethernet_frame = True
+        elif block.is_control and block.block_type in (
+            BlockType.TERM_0,
+            BlockType.TERM_1,
+            BlockType.TERM_2,
+            BlockType.TERM_3,
+            BlockType.TERM_4,
+            BlockType.TERM_5,
+            BlockType.TERM_6,
+            BlockType.TERM_7,
+        ):
+            self._in_ethernet_frame = False
+        result.ethernet_blocks.append(block)
+
+    def demux(self, blocks: List[PhyBlock]) -> DemuxResult:
+        """Demultiplex a whole stream at once."""
+        result = DemuxResult()
+        for block in blocks:
+            self.push(block, result)
+        return result
+
+    @property
+    def mid_message(self) -> bool:
+        return self._mem_buffer is not None
+
+
+def decode_frame(blocks: List[PhyBlock]) -> bytes:
+    """Reassemble a MAC frame from its /S/ + /D/* + /T_k/ blocks.
+
+    Idle blocks surrounding the frame are skipped; the function expects
+    exactly one frame in the slice.
+    """
+    data = bytearray()
+    started = False
+    for block in blocks:
+        if block.is_control and block.block_type == BlockType.IDLE:
+            continue
+        if block.is_control and block.block_type == BlockType.START:
+            if started:
+                raise PhyError("second /S/ before /T/ while decoding a frame")
+            started = True
+            data.extend(block.payload)
+            continue
+        if not started:
+            raise PhyError(f"unexpected block before /S/: {block.block_type!r}")
+        if block.is_data:
+            data.extend(block.payload)
+            continue
+        if block.block_type in (
+            BlockType.TERM_0,
+            BlockType.TERM_1,
+            BlockType.TERM_2,
+            BlockType.TERM_3,
+            BlockType.TERM_4,
+            BlockType.TERM_5,
+            BlockType.TERM_6,
+            BlockType.TERM_7,
+        ):
+            data.extend(block.payload[: block.trailing_bytes])
+            return bytes(data)
+        raise PhyError(f"unexpected control block inside frame: {block.block_type!r}")
+    raise PhyError("block stream ended before /T/")

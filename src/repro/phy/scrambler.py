@@ -1,0 +1,112 @@
+"""Self-synchronous scrambler/descrambler (x^58 + x^39 + 1).
+
+The 64b/66b PCS scrambles every 64-bit block payload (sync headers pass in
+the clear) to guarantee transition density.  EDM's logic sits *between* the
+encoder and the scrambler (§3.2), so memory blocks are scrambled like any
+other block — this module exists to complete the PCS pipeline and to host
+the corruption-detection hook the paper uses for link fault handling
+(§3.3: "the scrambler module checks for data corruption, and if corruption
+is observed over a link, EDM disables that link").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import PhyError
+
+_POLY_TAP_A = 39
+_POLY_TAP_B = 58
+_STATE_BITS = 58
+_STATE_MASK = (1 << _STATE_BITS) - 1
+
+
+class Scrambler:
+    """Self-synchronous multiplicative scrambler over 64-bit words.
+
+    Each output bit is ``in ^ state[38] ^ state[57]`` with the state shifted
+    one bit per input bit.  Self-synchronous means a descrambler recovers
+    after 58 bits regardless of initial state.
+    """
+
+    def __init__(self, seed: int = _STATE_MASK) -> None:
+        self._state = seed & _STATE_MASK
+
+    def scramble_word(self, word: int) -> int:
+        """Scramble one 64-bit word, MSB first."""
+        if not 0 <= word < (1 << 64):
+            raise PhyError(f"word out of 64-bit range: {word:#x}")
+        out = 0
+        state = self._state
+        for i in range(63, -1, -1):
+            in_bit = (word >> i) & 1
+            fb = ((state >> (_POLY_TAP_A - 1)) ^ (state >> (_POLY_TAP_B - 1))) & 1
+            out_bit = in_bit ^ fb
+            out = (out << 1) | out_bit
+            state = ((state << 1) | out_bit) & _STATE_MASK
+        self._state = state
+        return out
+
+    def scramble(self, words: Iterable[int]) -> List[int]:
+        return [self.scramble_word(w) for w in words]
+
+
+class Descrambler:
+    """Inverse of :class:`Scrambler`; self-synchronizing."""
+
+    def __init__(self, seed: int = _STATE_MASK) -> None:
+        self._state = seed & _STATE_MASK
+
+    def descramble_word(self, word: int) -> int:
+        if not 0 <= word < (1 << 64):
+            raise PhyError(f"word out of 64-bit range: {word:#x}")
+        out = 0
+        state = self._state
+        for i in range(63, -1, -1):
+            in_bit = (word >> i) & 1
+            fb = ((state >> (_POLY_TAP_A - 1)) ^ (state >> (_POLY_TAP_B - 1))) & 1
+            out_bit = in_bit ^ fb
+            out = (out << 1) | out_bit
+            # Self-synchronous: the *received* (scrambled) bit feeds the state.
+            state = ((state << 1) | in_bit) & _STATE_MASK
+        self._state = state
+        return out
+
+    def descramble(self, words: Iterable[int]) -> List[int]:
+        return [self.descramble_word(w) for w in words]
+
+
+class LinkMonitor:
+    """Corruption detector + link-disable policy (§3.3).
+
+    Datacenter link corruption is persistent (damaged fibre, dirty
+    transceivers), not transient, so after ``threshold`` corrupted blocks
+    within ``window`` observations EDM declares the link bad and disables
+    it rather than retransmitting forever.
+    """
+
+    def __init__(self, threshold: int = 3, window: int = 1000) -> None:
+        if threshold <= 0 or window <= 0:
+            raise PhyError("threshold and window must be positive")
+        self.threshold = threshold
+        self.window = window
+        self._observations = 0
+        self._corruptions = 0
+        self.disabled = False
+
+    def observe(self, corrupted: bool) -> None:
+        """Record one block observation; may disable the link."""
+        if self.disabled:
+            return
+        self._observations += 1
+        if corrupted:
+            self._corruptions += 1
+            if self._corruptions >= self.threshold:
+                self.disabled = True
+        if self._observations >= self.window:
+            self._observations = 0
+            self._corruptions = 0
+
+    @property
+    def corruption_count(self) -> int:
+        return self._corruptions

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate: engine, links, stats, RNG."""
+
+from repro.sim.engine import EventHandle, Process, Simulator, Timeline
+from repro.sim.link import DuplexLink, Link
+from repro.sim.rng import make_rng, spawn
+from repro.sim.stats import (
+    LatencyRecorder,
+    MctRecorder,
+    Summary,
+    ideal_mct_ns,
+    throughput_mrps,
+)
+
+__all__ = [
+    "DuplexLink",
+    "EventHandle",
+    "LatencyRecorder",
+    "Link",
+    "MctRecorder",
+    "Process",
+    "Simulator",
+    "Summary",
+    "Timeline",
+    "ideal_mct_ns",
+    "make_rng",
+    "spawn",
+    "throughput_mrps",
+]

@@ -1,0 +1,202 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic event-driven kernel: events are (time, priority,
+sequence, callback) tuples on a binary heap.  Ties on time are broken first
+by an explicit integer priority, then by insertion order, so repeated runs
+with the same seed replay identically — a property the reproduction's
+regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    seq: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print("at t=10ns"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(
+        self, delay: float, callback: EventCallback, *, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` ns from now.
+
+        Lower ``priority`` values run earlier among same-time events.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        event = _Event(self._now + delay, priority, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, *, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        event = _Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback()
+                processed += 1
+                self._events_processed += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self._now = 0.0
+        self._events_processed = 0
+
+
+class Process:
+    """Base class for simulation entities that own a reference to the engine."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name or type(self).__name__
+
+    def schedule(
+        self, delay: float, callback: EventCallback, *, priority: int = 0
+    ) -> EventHandle:
+        return self.sim.schedule(delay, callback, priority=priority)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} t={self.sim.now:.2f}ns>"
+
+
+@dataclass
+class Timeline:
+    """A recorded sequence of (time, label, payload) trace points.
+
+    Used by tests and examples to assert on event ordering without coupling
+    to internal module state.
+    """
+
+    points: List[Tuple[float, str, Any]] = field(default_factory=list)
+
+    def record(self, time: float, label: str, payload: Any = None) -> None:
+        self.points.append((time, label, payload))
+
+    def labels(self) -> List[str]:
+        return [label for _, label, _ in self.points]
+
+    def times(self, label: Optional[str] = None) -> List[float]:
+        return [t for t, lab, _ in self.points if label is None or lab == label]
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,105 @@
+"""Point-to-point link model: serialization + propagation delay.
+
+A :class:`Link` delivers payloads to a receiver callback after the
+transmission delay (size / bandwidth) plus the propagation delay.  The link
+serializes transmissions: a payload handed to :meth:`send` begins
+transmission only once the transmitter is free, which models the FIFO
+behaviour of a real Ethernet TX queue and lets fabric models account for
+self-queuing at the sender.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.core.clock import gbps_to_bits_per_ns
+from repro.errors import SimulationError
+from repro.sim.engine import Process, Simulator
+
+Receiver = Callable[[Any], None]
+
+
+class Link(Process):
+    """A unidirectional link with bandwidth and propagation delay.
+
+    Attributes:
+        bandwidth_gbps: link rate; transmission delay is ``bytes*8/rate``.
+        propagation_ns: one-way propagation delay.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_gbps: float,
+        propagation_ns: float,
+        receiver: Optional[Receiver] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name or "link")
+        self.bandwidth = gbps_to_bits_per_ns(bandwidth_gbps)
+        if propagation_ns < 0:
+            raise SimulationError(f"propagation must be >= 0, got {propagation_ns}")
+        self.propagation_ns = propagation_ns
+        self.receiver = receiver
+        self._tx_free_at = 0.0
+        self._queue: Deque[Tuple[Any, int]] = deque()
+        self.bytes_sent = 0
+        self.busy_until = 0.0
+
+    def connect(self, receiver: Receiver) -> None:
+        self.receiver = receiver
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def send(self, payload: Any, size_bytes: int) -> float:
+        """Enqueue ``payload`` for transmission; returns its delivery time.
+
+        Delivery time accounts for any payloads already queued ahead of it.
+        """
+        if self.receiver is None:
+            raise SimulationError(f"link {self.name!r} has no receiver connected")
+        if size_bytes <= 0:
+            raise SimulationError(f"payload size must be positive, got {size_bytes}")
+        start = max(self.now, self._tx_free_at)
+        tx_delay = size_bytes * 8.0 / self.bandwidth
+        finish = start + tx_delay
+        self._tx_free_at = finish
+        self.busy_until = finish
+        arrival = finish + self.propagation_ns
+        self.bytes_sent += size_bytes
+        receiver = self.receiver
+        self.sim.schedule_at(arrival, lambda: receiver(payload))
+        return arrival
+
+    def next_free_time(self) -> float:
+        """Earliest time a new transmission could start."""
+        return max(self.now, self._tx_free_at)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall-clock the transmitter was busy since ``since``."""
+        elapsed = self.now - since
+        if elapsed <= 0:
+            return 0.0
+        busy = min(self.busy_until, self.now) - since
+        return max(0.0, min(1.0, busy / elapsed))
+
+
+class DuplexLink:
+    """A pair of :class:`Link` objects modelling a full-duplex cable."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_gbps: float,
+        propagation_ns: float,
+        name: str = "duplex",
+    ) -> None:
+        self.forward = Link(sim, bandwidth_gbps, propagation_ns, name=f"{name}.fwd")
+        self.reverse = Link(sim, bandwidth_gbps, propagation_ns, name=f"{name}.rev")
+
+    def connect(self, fwd_receiver: Receiver, rev_receiver: Receiver) -> None:
+        self.forward.connect(fwd_receiver)
+        self.reverse.connect(rev_receiver)

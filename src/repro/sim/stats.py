@@ -1,0 +1,134 @@
+"""Measurement helpers: latency recorders, percentiles, normalization.
+
+The paper's headline metrics are (a) absolute unloaded latency (Table 1),
+(b) latency normalized by unloaded latency (Figure 8a), and (c) message
+completion time normalized by the *ideal* MCT — the completion time the
+message would see alone in the network (Figure 8b).  This module provides
+the recorders and the ideal-MCT calculation shared by all fabric models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.clock import gbps_to_bits_per_ns
+from repro.errors import ConfigError
+
+
+@dataclass
+class Summary:
+    """Summary statistics over a sample of measurements."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    maximum: float
+    minimum: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Summary":
+        if not samples:
+            raise ConfigError("cannot summarize an empty sample")
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=float(arr.max()),
+            minimum=float(arr.min()),
+        )
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates per-message latency samples, optionally keyed by a label."""
+
+    samples: List[float] = field(default_factory=list)
+    by_label: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, latency_ns: float, label: Optional[str] = None) -> None:
+        if latency_ns < 0 or math.isnan(latency_ns):
+            raise ConfigError(f"latency must be non-negative, got {latency_ns}")
+        self.samples.append(latency_ns)
+        if label is not None:
+            self.by_label.setdefault(label, []).append(latency_ns)
+
+    def summary(self, label: Optional[str] = None) -> Summary:
+        data = self.samples if label is None else self.by_label.get(label, [])
+        return Summary.of(data)
+
+    def normalized(self, baseline_ns: float) -> List[float]:
+        """Each sample divided by ``baseline_ns`` (e.g. unloaded latency)."""
+        if baseline_ns <= 0:
+            raise ConfigError(f"baseline must be positive, got {baseline_ns}")
+        return [s / baseline_ns for s in self.samples]
+
+    def mean_normalized(self, baseline_ns: float) -> float:
+        return float(np.mean(self.normalized(baseline_ns)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def ideal_mct_ns(
+    size_bytes: int,
+    bandwidth_gbps: float,
+    base_latency_ns: float,
+) -> float:
+    """Ideal message completion time: alone-in-the-network latency.
+
+    ``base_latency_ns`` covers fixed per-message overheads (host stacks,
+    switch hop, propagation); the size-dependent part is pure serialization
+    at the line rate.
+    """
+    if size_bytes <= 0:
+        raise ConfigError(f"size must be positive, got {size_bytes}")
+    serialization = size_bytes * 8.0 / gbps_to_bits_per_ns(bandwidth_gbps)
+    return base_latency_ns + serialization
+
+
+@dataclass
+class MctRecorder:
+    """Records message completion times with their ideal baselines."""
+
+    completion: List[float] = field(default_factory=list)
+    ideal: List[float] = field(default_factory=list)
+
+    def record(self, mct_ns: float, ideal_ns: float) -> None:
+        if mct_ns < 0 or ideal_ns <= 0:
+            raise ConfigError(
+                f"invalid MCT sample mct={mct_ns} ideal={ideal_ns}"
+            )
+        self.completion.append(mct_ns)
+        self.ideal.append(ideal_ns)
+
+    def normalized(self) -> List[float]:
+        return [m / i for m, i in zip(self.completion, self.ideal)]
+
+    def mean_normalized(self) -> float:
+        norm = self.normalized()
+        if not norm:
+            raise ConfigError("no MCT samples recorded")
+        return float(np.mean(norm))
+
+    def p99_normalized(self) -> float:
+        norm = self.normalized()
+        if not norm:
+            raise ConfigError("no MCT samples recorded")
+        return float(np.percentile(norm, 99))
+
+    def __len__(self) -> int:
+        return len(self.completion)
+
+
+def throughput_mrps(request_count: int, elapsed_ns: float) -> float:
+    """Requests per second in millions, from a count and elapsed sim time."""
+    if elapsed_ns <= 0:
+        raise ConfigError(f"elapsed time must be positive, got {elapsed_ns}")
+    return request_count / elapsed_ns * 1e9 / 1e6

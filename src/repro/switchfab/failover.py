@@ -1,0 +1,120 @@
+"""Fault tolerance (§3.3): backup switch via state machine replication.
+
+EDM's switch holds scheduling state, so a failover cannot simply swap
+cables: the backup must have observed the same demand stream.  The paper's
+design: every host mirrors each outgoing remote-memory message on both of
+its interfaces, so primary and backup switches compute on identical inputs
+(state machine replication without consensus — single-hop delivery means
+no reordering); receivers accept the first copy of each message and drop
+the duplicate.
+
+This module models that design at the message level:
+
+* :class:`MirroredSender` — duplicates transfers onto two uplinks.
+* :class:`DuplicateSuppressor` — first-copy-wins filtering at receivers.
+* :class:`FailoverController` — health tracking; when the primary dies,
+  delivery continues through the backup with *no scheduler state loss*,
+  because the backup's scheduler saw every notification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Set
+
+from repro.errors import FabricError
+
+
+@dataclass
+class MirroredSender:
+    """Duplicates every payload onto the primary and backup paths."""
+
+    primary: Callable[[object], None]
+    backup: Callable[[object], None]
+    sent: int = 0
+
+    def send(self, payload: object) -> None:
+        self.primary(payload)
+        self.backup(payload)
+        self.sent += 1
+
+
+class DuplicateSuppressor:
+    """First-copy-wins: deliver each uid once, drop the mirror copy.
+
+    Bounded memory: uids are retired once both copies have been seen, so
+    the live set tracks only in-flight messages.
+    """
+
+    def __init__(self, deliver: Callable[[object], None]) -> None:
+        self._deliver = deliver
+        self._seen_once: Set[int] = set()
+        self.delivered = 0
+        self.suppressed = 0
+
+    def receive(self, uid: int, payload: object) -> None:
+        if uid in self._seen_once:
+            # Second (mirrored) copy: suppress and retire the uid.
+            self._seen_once.discard(uid)
+            self.suppressed += 1
+            return
+        self._seen_once.add(uid)
+        self.delivered += 1
+        self._deliver(payload)
+
+    def receive_single(self, uid: int, payload: object) -> None:
+        """Receive when one path is known dead (no second copy coming)."""
+        if uid in self._seen_once:
+            self._seen_once.discard(uid)
+            self.suppressed += 1
+            return
+        self.delivered += 1
+        self._deliver(payload)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._seen_once)
+
+
+class FailoverController:
+    """Tracks primary/backup health and routes around a dead primary.
+
+    Because both switches observed every demand notification (mirroring),
+    the backup's scheduler state equals the primary's; failover costs only
+    the in-flight messages' retransmission, not a state rebuild.
+    """
+
+    def __init__(self) -> None:
+        self.primary_alive = True
+        self.backup_alive = True
+        self.failovers = 0
+
+    @property
+    def active_path(self) -> str:
+        if self.primary_alive:
+            return "primary"
+        if self.backup_alive:
+            return "backup"
+        raise FabricError("both switch paths have failed")
+
+    def fail_primary(self) -> None:
+        if not self.primary_alive:
+            return
+        self.primary_alive = False
+        self.failovers += 1
+
+    def fail_backup(self) -> None:
+        if not self.backup_alive:
+            return
+        self.backup_alive = False
+        if not self.primary_alive:
+            raise FabricError("both switch paths have failed")
+
+    def restore_primary(self) -> None:
+        """An operator fixed the link/switch (§3.3's repair path).
+
+        The restored primary must re-learn scheduler state before taking
+        traffic; until mirroring has run for the in-flight window the
+        backup stays active.  We model the swap as immediate re-arming.
+        """
+        self.primary_alive = True

@@ -1,0 +1,175 @@
+"""EDM switch network stack (§3.2.2) with the in-network scheduler (§3.1).
+
+The switch classifies incoming blocks in one cycle.  /N/ blocks and
+RREQ/RMWREQ /M*/ runs become demands in the scheduler's notification
+queues (the request itself is buffered — its later forwarding to the
+memory node is the implicit first grant for the RRES).  WREQ/RRES data
+chunks are forwarded RX→TX through the virtual circuit in 4 cycles with no
+parsing or table lookups.  Grants leave as /G/ blocks in one cycle.
+
+A matching round costs the scheduler's matching latency
+(``3·log2(N)/R`` ns on average, §3.1.3); rounds are (re)armed whenever a
+new demand arrives or a port's busy window expires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.clock import PCS_CYCLE_NS
+from repro.core.messages import MessageType
+from repro.core.scheduler import CentralScheduler, Demand, IssuedGrant, SchedulerConfig
+from repro.errors import FabricError
+from repro.host import cycles
+from repro.host.wire import TransferKind, WireTransfer, grant_transfer
+from repro.sim.engine import Process, Simulator
+from repro.sim.link import Link
+
+
+class EdmSwitch(Process):
+    """An EDM-capable switch with one scheduler and per-port egress links."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler_config: SchedulerConfig,
+        cycle_ns: float = PCS_CYCLE_NS,
+    ) -> None:
+        super().__init__(sim, "edm-switch")
+        self.scheduler = CentralScheduler(scheduler_config)
+        self.cycle_ns = cycle_ns
+        self.egress: Dict[int, Link] = {}
+        self._round_armed_at: Optional[float] = None
+        self.transfers_forwarded = 0
+        self.demands_accepted = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring                                                             #
+    # ------------------------------------------------------------------ #
+
+    def attach_port(self, node_id: int, egress_link: Link) -> None:
+        self.egress[node_id] = egress_link
+
+    def _egress_for(self, node_id: int) -> Link:
+        try:
+            return self.egress[node_id]
+        except KeyError as exc:
+            raise FabricError(f"switch has no port for node {node_id}") from exc
+
+    def _cycles(self, count: int) -> float:
+        return count * self.cycle_ns
+
+    # ------------------------------------------------------------------ #
+    # ingress                                                            #
+    # ------------------------------------------------------------------ #
+
+    def on_ingress(self, transfer: WireTransfer) -> None:
+        """Entry point for a transfer arriving from any host uplink."""
+        classify = self._cycles(cycles.SWITCH_RX_CLASSIFY_CYCLES)
+        if transfer.kind == TransferKind.NOTIFY:
+            self.schedule(classify, lambda: self._accept_notification(transfer))
+        elif transfer.kind == TransferKind.REQUEST:
+            self.schedule(classify, lambda: self._accept_request(transfer))
+        elif transfer.kind == TransferKind.DATA_CHUNK:
+            # Virtual circuit: no parsing, 4 cycles RX->TX clock movement.
+            delay = classify + self._cycles(cycles.SWITCH_FORWARD_CYCLES)
+            self.schedule(delay, lambda: self._forward(transfer))
+        else:
+            raise FabricError(f"switch cannot ingest transfer kind {transfer.kind}")
+
+    def _accept_notification(self, transfer: WireTransfer) -> None:
+        notification = transfer.notification
+        assert notification is not None
+        demand = Demand(
+            src=notification.src,
+            dst=notification.dst,
+            message_id=notification.message_id,
+            total_bytes=notification.size_bytes,
+            notified_at=self.now,
+            message_uid=notification.message_uid,
+        )
+        self.scheduler.notify(demand)
+        self.demands_accepted += 1
+        self._arm_round()
+
+    def _accept_request(self, transfer: WireTransfer) -> None:
+        """Buffer an RREQ/RMWREQ; it implicitly notifies for its RRES."""
+        message = transfer.message
+        assert message is not None
+        if message.mtype not in (MessageType.RREQ, MessageType.RMWREQ):
+            raise FabricError(f"unexpected request type {message.mtype.value}")
+        demand = Demand(
+            src=message.dst,  # the RRES flows memory -> compute
+            dst=message.src,
+            message_id=message.message_id,
+            total_bytes=message.response_demand_bytes,
+            notified_at=self.now,
+            message_uid=message.uid,
+            carried_request=transfer,
+        )
+        self.scheduler.notify(demand)
+        self.demands_accepted += 1
+        self._arm_round()
+
+    def _forward(self, transfer: WireTransfer) -> None:
+        link = self._egress_for(transfer.dst)
+        link.send(transfer, transfer.wire_bytes)
+        self.transfers_forwarded += 1
+
+    # ------------------------------------------------------------------ #
+    # scheduling rounds                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _arm_round(self, at: Optional[float] = None) -> None:
+        """Arm a matching round.
+
+        A fresh demand pays the matching latency (``3 log2(N) / R`` ns)
+        before its first grant.  Rounds chained off port releases fire *at*
+        the release instant: the hardware pipelines the next matching with
+        the current chunk's reception (§3.1.3 sizes the chunk so the link
+        stays busy while the next maximal matching forms).
+        """
+        fire_at = (
+            self.now + self.scheduler.config.matching_latency_ns
+            if at is None
+            else at
+        )
+        if self._round_armed_at is not None and self._round_armed_at <= fire_at:
+            return  # a round is already armed at least as early
+        self._round_armed_at = fire_at
+        self.sim.schedule_at(fire_at, self._run_round, priority=1)
+
+    def _run_round(self) -> None:
+        self._round_armed_at = None
+        issued = self.scheduler.schedule(self.now)
+        for item in issued:
+            self._deliver_grant(item)
+        if self.scheduler.pending_demands > 0:
+            next_release = self.scheduler.next_release_after(self.now)
+            if next_release is not None:
+                self._arm_round(at=next_release)
+            elif not issued:
+                raise FabricError(
+                    "scheduler has pending demands, no busy ports, and made "
+                    "no matches — inconsistent state"
+                )
+            else:
+                self._arm_round()
+
+    def _deliver_grant(self, item: IssuedGrant) -> None:
+        if item.is_first_for_rres and item.demand.carried_request is not None:
+            # The buffered RREQ/RMWREQ *is* the first grant (§3.1.1 step 4):
+            # forward it to the memory node through the new circuit.
+            request: WireTransfer = item.demand.carried_request
+            delay = self._cycles(cycles.SWITCH_FORWARD_CYCLES)
+            self.schedule(delay, lambda: self._forward(request))
+            return
+        # Otherwise a /G/ block to the data sender (WREQ: the compute node;
+        # RRES chunks beyond the first: the memory node).
+        sender = item.demand.src
+        transfer = grant_transfer(item.grant, sender)
+        delay = self._cycles(cycles.SWITCH_TX_GRANT_CYCLES)
+        self.schedule(
+            delay,
+            lambda: self._egress_for(sender).send(transfer, transfer.wire_bytes),
+        )

@@ -1,0 +1,59 @@
+"""Workload generators: synthetic all-to-all, YCSB, and app traces."""
+
+from repro.workloads.distributions import (
+    APP_CDFS,
+    GRAPHLAB,
+    HADOOP_SORT,
+    MEMCACHED,
+    SPARK_SORT,
+    SPARK_SQL,
+    SizeCdf,
+    app_cdf,
+    fixed_size,
+)
+from repro.workloads.synthetic import SyntheticSpec, generate, microbenchmark
+from repro.workloads.traces import TraceSpec, all_apps, generate_trace
+from repro.workloads.ycsb import (
+    READ_VALUE_BYTES,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_F,
+    WORKLOADS,
+    WRITE_VALUE_BYTES,
+    OpType,
+    YcsbOp,
+    YcsbWorkload,
+    ZipfianKeyChooser,
+    generate_ops,
+    workload_by_name,
+)
+
+__all__ = [
+    "APP_CDFS",
+    "GRAPHLAB",
+    "HADOOP_SORT",
+    "MEMCACHED",
+    "OpType",
+    "READ_VALUE_BYTES",
+    "SPARK_SORT",
+    "SPARK_SQL",
+    "SizeCdf",
+    "SyntheticSpec",
+    "TraceSpec",
+    "WORKLOADS",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_F",
+    "WRITE_VALUE_BYTES",
+    "YcsbOp",
+    "YcsbWorkload",
+    "ZipfianKeyChooser",
+    "all_apps",
+    "app_cdf",
+    "fixed_size",
+    "generate",
+    "generate_ops",
+    "generate_trace",
+    "microbenchmark",
+    "workload_by_name",
+]

@@ -1,0 +1,155 @@
+"""Message-size distributions, including the app-trace CDFs of §4.3.2.
+
+The paper's artifact generates synthetic traces from "pre-existing CDF
+profiles of disaggregated workloads" (Artifact A.5.2) for five
+applications: Hadoop (Sort), Spark (Sort), Spark SQL (Query), GraphLab
+(Filtering), and Memcached (YCSB KV store), each a heavy-tailed mixture of
+reads and writes in equal proportion.  The public traces themselves are
+not redistributable, so — per the reproduction's substitution rule — this
+module defines heavy-tailed CDFs matching the qualitative profiles those
+applications are known for (many small pointer/metadata messages, a long
+tail of bulk transfers).  What the experiments need from the CDFs is the
+heavy-tailedness and the per-app variation, both preserved here.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class SizeCdf:
+    """A discrete message-size CDF: sample sizes by inverse transform."""
+
+    name: str
+    points: Tuple[Tuple[int, float], ...]  # (size_bytes, cumulative prob)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise WorkloadError("CDF needs at least one point")
+        last_p = 0.0
+        last_s = 0
+        for size, prob in self.points:
+            if size <= last_s:
+                raise WorkloadError(f"CDF sizes must strictly increase: {self.points}")
+            if prob <= last_p or prob > 1.0 + 1e-9:
+                raise WorkloadError(f"CDF probs must strictly increase to 1: {self.points}")
+            last_s, last_p = size, prob
+        if abs(self.points[-1][1] - 1.0) > 1e-9:
+            raise WorkloadError(f"CDF must end at probability 1: {self.points}")
+
+    @property
+    def sizes(self) -> List[int]:
+        return [s for s, _ in self.points]
+
+    @property
+    def probs(self) -> List[float]:
+        return [p for _, p in self.points]
+
+    def sample(self, rng: np.random.Generator) -> int:
+        u = float(rng.random())
+        idx = bisect.bisect_left(self.probs, u)
+        idx = min(idx, len(self.points) - 1)
+        return self.points[idx][0]
+
+    def mean_bytes(self) -> float:
+        mean = 0.0
+        prev = 0.0
+        for size, prob in self.points:
+            mean += size * (prob - prev)
+            prev = prob
+        return mean
+
+    def is_heavy_tailed(self) -> bool:
+        """Crude tail test: the top decile of mass spans >=10x the median size.
+
+        Drives the paper's FCFS-vs-SRPT policy choice (§3.1.1 property 4).
+        """
+        median = self.percentile(0.5)
+        p99 = self.percentile(0.99)
+        return p99 >= 10 * median
+
+    def percentile(self, q: float) -> int:
+        if not 0 <= q <= 1:
+            raise WorkloadError(f"percentile must be in [0,1]: {q}")
+        idx = bisect.bisect_left(self.probs, q)
+        idx = min(idx, len(self.points) - 1)
+        return self.points[idx][0]
+
+
+def fixed_size(size_bytes: int) -> SizeCdf:
+    """Degenerate CDF for the 64 B microbenchmarks (§4.3.1)."""
+    if size_bytes <= 0:
+        raise WorkloadError(f"size must be positive: {size_bytes}")
+    return SizeCdf(name=f"fixed-{size_bytes}B", points=((size_bytes, 1.0),))
+
+
+# --------------------------------------------------------------------------- #
+# Application CDFs (§4.3.2) — synthetic heavy-tailed equivalents.             #
+# Each mixes dominant small messages (word/cacheline-scale remote accesses)   #
+# with progressively rarer bulk transfers; the tail weight varies per app.    #
+# --------------------------------------------------------------------------- #
+
+HADOOP_SORT = SizeCdf(
+    name="Hadoop (Sort)",
+    points=(
+        (64, 0.35), (256, 0.55), (1024, 0.72), (4096, 0.85),
+        (16384, 0.94), (65536, 0.99), (262144, 1.0),
+    ),
+)
+
+SPARK_SORT = SizeCdf(
+    name="Spark (Sort)",
+    points=(
+        (64, 0.40), (256, 0.60), (1024, 0.75), (4096, 0.87),
+        (16384, 0.95), (65536, 0.99), (262144, 1.0),
+    ),
+)
+
+SPARK_SQL = SizeCdf(
+    name="Spark SQL (Query)",
+    points=(
+        (64, 0.50), (256, 0.68), (1024, 0.80), (4096, 0.90),
+        (16384, 0.96), (65536, 0.995), (131072, 1.0),
+    ),
+)
+
+GRAPHLAB = SizeCdf(
+    name="GraphLab (Filtering)",
+    points=(
+        (64, 0.55), (128, 0.70), (512, 0.82), (2048, 0.91),
+        (8192, 0.97), (32768, 0.995), (131072, 1.0),
+    ),
+)
+
+MEMCACHED = SizeCdf(
+    name="Memcached (KV store)",
+    points=(
+        (64, 0.45), (128, 0.65), (512, 0.80), (1024, 0.90),
+        (4096, 0.97), (16384, 0.998), (65536, 1.0),
+    ),
+)
+
+#: The five §4.3.2 traces, in the figure's order.
+APP_CDFS: Dict[str, SizeCdf] = {
+    "hadoop": HADOOP_SORT,
+    "spark": SPARK_SORT,
+    "spark_sql": SPARK_SQL,
+    "graphlab": GRAPHLAB,
+    "memcached": MEMCACHED,
+}
+
+
+def app_cdf(name: str) -> SizeCdf:
+    try:
+        return APP_CDFS[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown application trace {name!r}; choose from {sorted(APP_CDFS)}"
+        ) from exc

@@ -1,0 +1,177 @@
+"""Synthetic all-to-all workload generator (§4.3.1's microbenchmark).
+
+Generates Poisson arrivals of remote reads and writes between uniformly
+random node pairs at a target per-node *offered load* — the fraction of
+each node's link bandwidth consumed by memory-message payloads.  The §4.3
+microbenchmark uses 64 B reads/writes (8 B RREQ) at loads 0.2–0.9, plus
+mixed write:read ratios at load 0.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.fabrics.base import OfferedMessage
+from repro.sim.rng import make_rng
+from repro.workloads.distributions import SizeCdf, fixed_size
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of an all-to-all synthetic workload.
+
+    ``incast_fraction`` of the offered messages arrive as *incast events*:
+    ``incast_degree`` distinct sources each send one message to a common
+    destination at the same instant.  Incast is the traffic pattern §2.4
+    (limitation 6) and §4.3.1 identify as the stressor for reactive and
+    credit-based fabrics; disaggregated workloads produce it whenever a
+    compute node fans out requests and responses return together.
+    """
+
+    num_nodes: int
+    link_gbps: float
+    load: float
+    message_count: int
+    size_cdf: SizeCdf
+    write_fraction: float = 0.5
+    seed: Optional[int] = 0
+    incast_fraction: float = 0.25
+    incast_degree: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise WorkloadError(f"need >= 2 nodes: {self.num_nodes}")
+        if not 0 < self.load <= 1:
+            raise WorkloadError(f"load must be in (0,1]: {self.load}")
+        if self.message_count <= 0:
+            raise WorkloadError(f"need a positive message count: {self.message_count}")
+        if not 0 <= self.write_fraction <= 1:
+            raise WorkloadError(f"write fraction in [0,1]: {self.write_fraction}")
+        if not 0 <= self.incast_fraction < 1:
+            raise WorkloadError(f"incast fraction in [0,1): {self.incast_fraction}")
+        if self.incast_degree < 2:
+            raise WorkloadError(f"incast degree must be >= 2: {self.incast_degree}")
+
+
+def mean_wire_bytes(cdf: SizeCdf) -> float:
+    """Expected MAC wire footprint (preamble + frame + IFG) under the CDF.
+
+    Offered load is defined in conventional MAC-frame wire terms so the
+    same message *rate* is offered to every fabric; protocols with leaner
+    framing (EDM's 66-bit blocks) then enjoy headroom at equal load, which
+    is exactly the paper's bandwidth-efficiency argument (Figure 6).
+    """
+    from repro.mac.frame import MTU_PAYLOAD_BYTES, frame_wire_bytes
+
+    mean = 0.0
+    prev = 0.0
+    for size, prob in cdf.points:
+        full, rem = divmod(size, MTU_PAYLOAD_BYTES)
+        wire = full * frame_wire_bytes(MTU_PAYLOAD_BYTES)
+        if rem:
+            wire += frame_wire_bytes(rem)
+        mean += wire * (prob - prev)
+        prev = prob
+    return mean
+
+
+def generate(spec: SyntheticSpec) -> List[OfferedMessage]:
+    """Generate the workload: per-node Poisson processes, uniform partners.
+
+    A node's mean injection rate is ``load * link_gbps`` wire bits per ns;
+    with mean wire size S bits the per-node inter-arrival mean is
+    ``S / (load * link_gbps)`` ns.
+    """
+    rng = make_rng(spec.seed)
+    mean_bits = mean_wire_bytes(spec.size_cdf) * 8.0
+    messages: List[OfferedMessage] = []
+
+    def new_message(src: int, dst: int, t: float) -> OfferedMessage:
+        size = spec.size_cdf.sample(rng)
+        is_read = bool(rng.random() >= spec.write_fraction)
+        return OfferedMessage(
+            src=src, dst=dst, size_bytes=size, arrival_ns=t, is_read=is_read
+        )
+
+    # Smooth component: independent per-source Poisson processes.
+    smooth_count = round(spec.message_count * (1.0 - spec.incast_fraction))
+    per_node = -(-smooth_count // spec.num_nodes)
+    smooth_rate = (1.0 - spec.incast_fraction) * spec.load
+    if smooth_rate > 0 and per_node > 0:
+        per_node_gap_ns = mean_bits / (smooth_rate * spec.link_gbps)
+        for src in range(spec.num_nodes):
+            t = 0.0
+            for _ in range(per_node):
+                t += float(rng.exponential(per_node_gap_ns))
+                dst = int(rng.integers(0, spec.num_nodes - 1))
+                if dst >= src:
+                    dst += 1
+                messages.append(new_message(src, dst, t))
+
+    # Incast component: cluster-level Poisson events, ``incast_degree``
+    # sources hitting one destination simultaneously.
+    incast_count = spec.message_count - smooth_count
+    if incast_count > 0:
+        effective_degree = min(spec.incast_degree, spec.num_nodes - 1)
+        events = -(-incast_count // effective_degree)
+        cluster_rate_bits = (
+            spec.incast_fraction * spec.load * spec.link_gbps * spec.num_nodes
+        )
+        event_gap_ns = spec.incast_degree * mean_bits / cluster_rate_bits
+        t = 0.0
+        for _ in range(events):
+            t += float(rng.exponential(event_gap_ns))
+            victim = int(rng.integers(0, spec.num_nodes))
+            degree = min(spec.incast_degree, spec.num_nodes - 1)
+            peers = rng.choice(
+                [n for n in range(spec.num_nodes) if n != victim],
+                size=degree, replace=False,
+            )
+            event_is_read = bool(rng.random() >= spec.write_fraction)
+            for peer in peers:
+                size = spec.size_cdf.sample(rng)
+                if event_is_read:
+                    # Fan-out reads: the victim's responses converge on it.
+                    messages.append(
+                        OfferedMessage(
+                            src=victim, dst=int(peer), size_bytes=size,
+                            arrival_ns=t, is_read=True,
+                        )
+                    )
+                else:
+                    # Write incast: many senders hit the victim at once.
+                    messages.append(
+                        OfferedMessage(
+                            src=int(peer), dst=victim, size_bytes=size,
+                            arrival_ns=t, is_read=False,
+                        )
+                    )
+
+    messages.sort(key=lambda m: m.arrival_ns)
+    return messages[: spec.message_count]
+
+
+def microbenchmark(
+    num_nodes: int,
+    link_gbps: float,
+    load: float,
+    message_count: int,
+    write_fraction: float = 0.5,
+    message_bytes: int = 64,
+    seed: Optional[int] = 0,
+) -> List[OfferedMessage]:
+    """The §4.3.1 workload: fixed 64 B reads/writes at a given load."""
+    spec = SyntheticSpec(
+        num_nodes=num_nodes,
+        link_gbps=link_gbps,
+        load=load,
+        message_count=message_count,
+        size_cdf=fixed_size(message_bytes),
+        write_fraction=write_fraction,
+        seed=seed,
+    )
+    return generate(spec)

@@ -1,0 +1,54 @@
+"""Disaggregated application trace generator (§4.3.2).
+
+Builds message traces for the five applications of Figure 8b: equal read /
+write mix with heavy-tailed sizes drawn from the per-application CDFs in
+:mod:`repro.workloads.distributions`, offered at a target network load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.fabrics.base import OfferedMessage
+from repro.workloads.distributions import app_cdf
+from repro.workloads.synthetic import SyntheticSpec, generate
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters for one application trace."""
+
+    app: str
+    num_nodes: int
+    link_gbps: float
+    load: float
+    message_count: int
+    seed: Optional[int] = 0
+
+
+def generate_trace(spec: TraceSpec) -> List[OfferedMessage]:
+    """A heavy-tailed trace with the paper's equal read/write proportion."""
+    cdf = app_cdf(spec.app)
+    synth = SyntheticSpec(
+        num_nodes=spec.num_nodes,
+        link_gbps=spec.link_gbps,
+        load=spec.load,
+        message_count=spec.message_count,
+        size_cdf=cdf,
+        write_fraction=0.5,   # §4.3.2: reads and writes in equal proportion
+        seed=spec.seed,
+    )
+    return generate(synth)
+
+
+def all_apps() -> List[str]:
+    """Figure 8b's x-axis, in order."""
+    return ["hadoop", "spark", "spark_sql", "graphlab", "memcached"]
+
+
+def validate_app(app: str) -> str:
+    if app not in all_apps():
+        raise WorkloadError(f"unknown app {app!r}; choose from {all_apps()}")
+    return app

@@ -1,0 +1,139 @@
+"""Tests for the discrete-event engine: ordering, cancellation, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator, Timeline
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim, seen = Simulator(), []
+        sim.schedule(30, lambda: seen.append("c"))
+        sim.schedule(10, lambda: seen.append("a"))
+        sim.schedule(20, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_ties_break_by_priority_then_insertion(self):
+        sim, seen = Simulator(), []
+        sim.schedule(10, lambda: seen.append("late"), priority=5)
+        sim.schedule(10, lambda: seen.append("first"), priority=0)
+        sim.schedule(10, lambda: seen.append("second"), priority=0)
+        sim.run()
+        assert seen == ["first", "second", "late"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(42.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [42.5]
+
+    def test_nested_scheduling_from_callback(self):
+        sim, seen = Simulator(), []
+        def outer():
+            seen.append("outer")
+            sim.schedule(5, lambda: seen.append("inner"))
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == ["outer", "inner"]
+        assert sim.now == 15
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_the_clock(self):
+        sim, seen = Simulator(), []
+        sim.schedule(10, lambda: seen.append(1))
+        sim.schedule(100, lambda: seen.append(2))
+        sim.run(until=50)
+        assert seen == [1]
+        assert sim.now == 50
+
+    def test_remaining_events_run_on_next_call(self):
+        sim, seen = Simulator(), []
+        sim.schedule(10, lambda: seen.append(1))
+        sim.schedule(100, lambda: seen.append(2))
+        sim.run(until=50)
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_max_events(self):
+        sim, seen = Simulator(), []
+        for i in range(5):
+            sim.schedule(i + 1, lambda i=i: seen.append(i))
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_step(self):
+        sim, seen = Simulator(), []
+        sim.schedule(1, lambda: seen.append(1))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert seen == [1]
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending_events == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim, seen = Simulator(), []
+        handle = sim.schedule(10, lambda: seen.append("x"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim, seen = Simulator(), []
+        handle = sim.schedule(10, lambda: seen.append("x"))
+        sim.run()
+        handle.cancel()
+        assert seen == ["x"]
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestDeterminism:
+    def test_identical_runs_replay_identically(self):
+        def run_once():
+            sim, seen = Simulator(), []
+            for i in range(100):
+                sim.schedule((i * 37) % 13, lambda i=i: seen.append(i))
+            sim.run()
+            return seen
+
+        assert run_once() == run_once()
+
+
+class TestTimeline:
+    def test_records_and_filters(self):
+        tl = Timeline()
+        tl.record(1.0, "a", None)
+        tl.record(2.0, "b", None)
+        tl.record(3.0, "a", "payload")
+        assert tl.labels() == ["a", "b", "a"]
+        assert tl.times("a") == [1.0, 3.0]
+        assert len(tl) == 3

@@ -1,0 +1,79 @@
+"""Tests for the experiment drivers (small scales)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    Figure8aScale,
+    Figure8bScale,
+    format_grid,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8a_loads,
+    run_figure8a_mix,
+    run_figure8b,
+    run_table1,
+    summarize_shape_checks,
+)
+
+SMALL_8A = Figure8aScale(num_nodes=8, message_count=1200,
+                         fabric_names=("EDM", "DCTCP"))
+SMALL_8B = Figure8bScale(num_nodes=8, message_count=800, load=0.4,
+                         fabric_names=("EDM", "CXL"))
+
+
+class TestAnalyticDrivers:
+    def test_table1_has_four_stacks(self):
+        t1 = run_table1()
+        assert set(t1) == {
+            "TCP/IP in hardware", "RDMA (RoCEv2)", "Raw Ethernet", "EDM",
+        }
+
+    def test_all_shape_checks_pass(self):
+        checks = summarize_shape_checks()
+        assert all(checks.values()), checks
+
+    def test_figure5_totals(self):
+        f5 = run_figure5()
+        assert 250 < f5["read_total_ns"] < 350
+        assert 250 < f5["write_total_ns"] < 350
+
+    def test_figure6_rows(self):
+        rows = run_figure6()
+        assert [r["workload"] for r in rows] == ["A", "B", "F"]
+        assert all(r["speedup"] > 1.0 for r in rows)
+
+    def test_figure7_rows(self):
+        rows = run_figure7()
+        assert len(rows) == 5
+        for row in rows:
+            assert row["edm_ns"] < row["rdma_ns"]
+
+
+class TestSimulationDrivers:
+    def test_figure8a_loads_small(self):
+        results = run_figure8a_loads(loads=(0.3,), scale=SMALL_8A)
+        point = results[0.3]
+        assert set(point) == {"EDM", "DCTCP"}
+        for values in point.values():
+            assert not math.isnan(values["read"])
+            assert values["read"] >= 0.9
+            assert values["incomplete"] == 0
+
+    def test_figure8a_mix_small(self):
+        results = run_figure8a_mix(mixes=((50, 50),), load=0.4, scale=SMALL_8A)
+        assert "50:50" in results
+        assert results["50:50"]["EDM"] >= 0.9
+
+    def test_figure8b_small(self):
+        results = run_figure8b(apps=("memcached",), scale=SMALL_8B)
+        assert set(results) == {"memcached"}
+        for value in results["memcached"].values():
+            assert value >= 0.9
+
+    def test_format_grid_renders(self):
+        results = run_figure8a_loads(loads=(0.3,), scale=SMALL_8A)
+        text = format_grid(results, "Figure 8a")
+        assert "Figure 8a" in text and "EDM" in text

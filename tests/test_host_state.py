@@ -1,0 +1,138 @@
+"""Tests for host-side state: tables, id allocation, rate limiting, batching."""
+
+import pytest
+
+from repro.core.messages import make_wreq
+from repro.errors import HostError
+from repro.host.state import (
+    MessageIdAllocator,
+    MessageState,
+    MessageStateTable,
+    NotificationRateLimiter,
+    batch_for_destination,
+)
+
+
+def wreq(dst=1, size=64, src=0):
+    return make_wreq(src, dst, address=0, data_bytes=size)
+
+
+class TestStateTable:
+    def test_add_get_remove(self):
+        table = MessageStateTable()
+        state = MessageState(message=wreq())
+        table.add(1, 5, state)
+        assert table.get(1, 5) is state
+        assert table.contains(1, 5)
+        assert table.remove(1, 5) is state
+        assert not table.contains(1, 5)
+
+    def test_duplicate_key_rejected(self):
+        table = MessageStateTable()
+        table.add(1, 5, MessageState(message=wreq()))
+        with pytest.raises(HostError):
+            table.add(1, 5, MessageState(message=wreq()))
+
+    def test_missing_key_raises(self):
+        table = MessageStateTable()
+        with pytest.raises(HostError):
+            table.get(9, 9)
+        with pytest.raises(HostError):
+            table.remove(9, 9)
+
+    def test_same_id_different_peers_coexist(self):
+        table = MessageStateTable()
+        table.add(1, 0, MessageState(message=wreq(dst=1)))
+        table.add(2, 0, MessageState(message=wreq(dst=2)))
+        assert len(table) == 2
+
+
+class TestIdAllocator:
+    def test_ids_unique_while_active(self):
+        alloc = MessageIdAllocator()
+        ids = {alloc.allocate(1) for _ in range(256)}
+        assert len(ids) == 256
+
+    def test_exhaustion_raises(self):
+        alloc = MessageIdAllocator(id_space=2)
+        alloc.allocate(1)
+        alloc.allocate(1)
+        with pytest.raises(HostError):
+            alloc.allocate(1)
+
+    def test_release_recycles(self):
+        alloc = MessageIdAllocator(id_space=1)
+        i = alloc.allocate(1)
+        alloc.release(1, i)
+        assert alloc.allocate(1) == i
+
+    def test_per_peer_spaces_independent(self):
+        alloc = MessageIdAllocator(id_space=1)
+        alloc.allocate(1)
+        alloc.allocate(2)  # different peer: fine
+
+
+class TestRateLimiter:
+    def test_admits_up_to_x(self):
+        limiter = NotificationRateLimiter(max_active=3)
+        assert all(limiter.admit(wreq()) for _ in range(3))
+        assert limiter.active_toward(1) == 3
+
+    def test_backlogs_beyond_x(self):
+        limiter = NotificationRateLimiter(max_active=1)
+        assert limiter.admit(wreq())
+        assert not limiter.admit(wreq())
+        assert limiter.backlog_depth(1) == 1
+
+    def test_complete_releases_backlog(self):
+        limiter = NotificationRateLimiter(max_active=1)
+        limiter.admit(wreq())
+        held = wreq(size=99)
+        limiter.admit(held)
+        released = limiter.complete(1)
+        assert released is held
+        assert limiter.active_toward(1) == 1  # slot transferred
+
+    def test_complete_without_backlog_frees_slot(self):
+        limiter = NotificationRateLimiter(max_active=1)
+        limiter.admit(wreq())
+        assert limiter.complete(1) is None
+        assert limiter.active_toward(1) == 0
+
+    def test_complete_without_active_raises(self):
+        limiter = NotificationRateLimiter(max_active=1)
+        with pytest.raises(HostError):
+            limiter.complete(1)
+
+    def test_per_destination_independence(self):
+        limiter = NotificationRateLimiter(max_active=1)
+        assert limiter.admit(wreq(dst=1))
+        assert limiter.admit(wreq(dst=2))
+
+    def test_x_must_be_positive(self):
+        with pytest.raises(HostError):
+            NotificationRateLimiter(max_active=0)
+
+
+class TestBatching:
+    def test_batches_small_messages_to_same_destination(self):
+        pending = [wreq(dst=1, size=64) for _ in range(4)] + [wreq(dst=2, size=64)]
+        mega, leftovers = batch_for_destination(pending, dst=1)
+        assert mega is not None
+        assert len(mega.members) == 4
+        assert mega.total_bytes == 256
+        assert len(leftovers) == 1
+
+    def test_respects_batch_bound(self):
+        pending = [wreq(dst=1, size=100) for _ in range(10)]
+        mega, leftovers = batch_for_destination(pending, dst=1, max_batch_bytes=250)
+        assert len(mega.members) == 2
+        assert len(leftovers) == 8
+
+    def test_no_members_returns_none(self):
+        mega, leftovers = batch_for_destination([wreq(dst=2)], dst=1)
+        assert mega is None and len(leftovers) == 1
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(HostError):
+            batch_for_destination([], dst=1, max_batch_bytes=0)

@@ -1,0 +1,127 @@
+"""Tests for the remote KV store and the Figure 6/7 analytic models."""
+
+import pytest
+
+from repro.apps.kvstore import (
+    FIGURE7_SPLITS,
+    RemoteKvStore,
+    kv_latency_ns,
+    kv_throughput_mrps,
+)
+from repro.errors import ConfigError
+from repro.fabrics.base import ClusterConfig
+from repro.fabrics.edm import EdmCluster
+from repro.memctrl.dram import DramTiming
+from repro.workloads.ycsb import WORKLOAD_A, WORKLOAD_B, WORKLOAD_F
+
+
+def make_store():
+    cluster = EdmCluster(
+        ClusterConfig(num_nodes=2, link_gbps=100.0),
+        dram_timing=DramTiming(row_hit_ns=0.0, row_miss_ns=0.0, bandwidth_gbps=1e9),
+        memory_bytes=1 << 20,
+    )
+    return cluster, RemoteKvStore(cluster, compute_node=0, memory_node=1, capacity=64)
+
+
+class TestFunctionalStore:
+    def test_get_completes(self):
+        cluster, store = make_store()
+        done = []
+        store.get(3, lambda c: done.append(c))
+        cluster.sim.run()
+        assert len(done) == 1 and not done[0].timed_out
+
+    def test_put_then_get(self):
+        cluster, store = make_store()
+        done = []
+        store.put(5, lambda c: done.append("put"))
+        cluster.sim.run()
+        store.get(5, lambda c: done.append("get"))
+        cluster.sim.run()
+        assert done == ["put", "get"]
+
+    def test_cas_lock_acquisition(self):
+        cluster, store = make_store()
+        outcomes = []
+        store.compare_and_swap(0, expected=0, desired=1,
+                               on_complete=lambda c: outcomes.append(c))
+        cluster.sim.run()
+        assert len(outcomes) == 1
+        # The lock word is now 1 in remote DRAM.
+        assert cluster.nic(1).controller.dram.read_word(0)[0] == 1
+
+    def test_key_bounds_checked(self):
+        _, store = make_store()
+        with pytest.raises(ConfigError):
+            store.get(64, lambda c: None)
+
+    def test_same_node_rejected(self):
+        cluster, _ = make_store()
+        with pytest.raises(ConfigError):
+            RemoteKvStore(cluster, compute_node=1, memory_node=1)
+
+    def test_op_counters(self):
+        cluster, store = make_store()
+        store.get(0, lambda c: None)
+        store.put(1, lambda c: None)
+        assert store.gets == 1 and store.puts == 1
+
+
+class TestFigure6Model:
+    def test_edm_beats_rdma_on_every_workload(self):
+        # Figure 6: EDM sustains more requests/sec on YCSB A, B, and F.
+        for wl in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_F):
+            edm = kv_throughput_mrps("EDM", wl)
+            rdma = kv_throughput_mrps("RDMA", wl)
+            assert edm.mrps > rdma.mrps
+
+    def test_speedup_in_paper_range(self):
+        # The paper reports ~2.7x on average; our wire+pipeline model
+        # lands in the 1.4-2.5x band (see EXPERIMENTS.md).
+        speedups = [
+            kv_throughput_mrps("EDM", wl).mrps / kv_throughput_mrps("RDMA", wl).mrps
+            for wl in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_F)
+        ]
+        assert all(1.3 < s < 3.5 for s in speedups)
+
+    def test_write_heavier_mix_higher_mrps_for_edm(self):
+        # Writes are small (100 B): more writes -> more requests/sec.
+        a = kv_throughput_mrps("EDM", WORKLOAD_A).mrps
+        b = kv_throughput_mrps("EDM", WORKLOAD_B).mrps
+        assert a > b
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ConfigError):
+            kv_throughput_mrps("SMOKE", WORKLOAD_A)
+
+
+class TestFigure7Model:
+    def test_latency_grows_with_remote_share(self):
+        means = [
+            kv_latency_ns("EDM", local, remote).mean_ns
+            for local, remote in FIGURE7_SPLITS
+        ]
+        assert means == sorted(means)
+
+    def test_edm_within_1_3x_of_cxl(self):
+        # §4.2.2: "EDM achieves ... within 1.3x the latency of CXL".
+        for local, remote in FIGURE7_SPLITS:
+            edm = kv_latency_ns("EDM", local, remote).mean_ns
+            cxl = kv_latency_ns("CXL", local, remote).mean_ns
+            assert edm <= 1.3 * cxl
+
+    def test_edm_significantly_below_rdma(self):
+        for local, remote in FIGURE7_SPLITS:
+            edm = kv_latency_ns("EDM", local, remote).mean_ns
+            rdma = kv_latency_ns("RDMA", local, remote).mean_ns
+            assert rdma > 2 * edm or remote <= 10
+
+    def test_all_local_equals_dram_latency(self):
+        from repro.core.clock import LOCAL_DRAM_LATENCY_NS
+        point = kv_latency_ns("EDM", 100, 0)
+        assert point.mean_ns == pytest.approx(LOCAL_DRAM_LATENCY_NS)
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ConfigError):
+            kv_latency_ns("EDM", 0, 0)

@@ -1,0 +1,111 @@
+"""Tests for the Table 1 / Figure 5 analytical latency models.
+
+These pin the reproduction to the paper's published numbers exactly.
+"""
+
+import pytest
+
+from repro.latency.breakdown import (
+    cycles_by_location,
+    format_breakdown,
+    read_breakdown,
+    total_ns,
+    write_breakdown,
+)
+from repro.latency.components import all_stacks, edm_stack
+from repro.latency.table1 import (
+    compute_table1,
+    format_table1,
+    latency_ratios,
+    stage_table,
+)
+
+
+class TestTable1ExactValues:
+    def rows(self):
+        return {r.stack: r for r in compute_table1()}
+
+    def test_edm_totals(self):
+        edm = self.rows()["EDM"]
+        assert edm.read_total_ns == pytest.approx(299.52)
+        assert edm.write_total_ns == pytest.approx(296.96)
+
+    def test_edm_network_stack(self):
+        edm = self.rows()["EDM"]
+        assert edm.read_network_stack_ns == pytest.approx(107.52)
+        assert edm.write_network_stack_ns == pytest.approx(104.96)
+
+    def test_raw_ethernet_totals(self):
+        raw = self.rows()["Raw Ethernet"]
+        assert raw.read_total_ns == pytest.approx(1114.88)
+        assert raw.write_total_ns == pytest.approx(557.44)
+
+    def test_rdma_totals(self):
+        rdma = self.rows()["RDMA (RoCEv2)"]
+        assert rdma.read_total_ns == pytest.approx(2035.68)
+        assert rdma.write_total_ns == pytest.approx(1017.84)
+
+    def test_tcpip_totals(self):
+        tcp = self.rows()["TCP/IP in hardware"]
+        assert tcp.read_total_ns == pytest.approx(3779.68)
+        assert tcp.write_total_ns == pytest.approx(1889.84)
+
+    def test_raw_write_network_stack(self):
+        assert self.rows()["Raw Ethernet"].write_network_stack_ns == pytest.approx(461.44)
+
+
+class TestRatios:
+    def test_headline_ratios(self):
+        # §4.2.1: read 3.7x/6.8x/12.7x, write 1.9x/3.4x/6.4x lower.
+        ratios = latency_ratios()
+        assert ratios["Raw Ethernet"]["read"] == pytest.approx(3.7, abs=0.1)
+        assert ratios["RDMA (RoCEv2)"]["read"] == pytest.approx(6.8, abs=0.1)
+        assert ratios["TCP/IP in hardware"]["read"] == pytest.approx(12.7, abs=0.1)
+        assert ratios["Raw Ethernet"]["write"] == pytest.approx(1.9, abs=0.1)
+        assert ratios["RDMA (RoCEv2)"]["write"] == pytest.approx(3.4, abs=0.1)
+        assert ratios["TCP/IP in hardware"]["write"] == pytest.approx(6.4, abs=0.1)
+
+
+class TestStageStructure:
+    def test_four_stacks(self):
+        assert len(all_stacks()) == 4
+
+    def test_edm_has_no_mac_or_l2_stages(self):
+        for stage in edm_stack().read_stages + edm_stack().write_stages:
+            assert stage.component not in ("mac", "l2", "protocol")
+
+    def test_stage_table_sums_to_totals(self):
+        for stack in all_stacks():
+            rows = stage_table(stack)
+            read_sum = sum(r["total_ns"] for r in rows if r["operation"] == "read")
+            assert read_sum == pytest.approx(stack.read_total_ns())
+
+    def test_format_renders(self):
+        text = format_table1()
+        assert "EDM" in text and "299.52" in text
+
+
+class TestFigure5:
+    def test_read_total_close_to_table1(self):
+        # Figure 5 walks the same path as Table 1's EDM column; the DES
+        # cycle model lands within a few blocks' serialization of it.
+        assert total_ns(read_breakdown()) == pytest.approx(299.52, rel=0.1)
+
+    def test_write_total_close_to_table1(self):
+        assert total_ns(write_breakdown()) == pytest.approx(296.96, rel=0.1)
+
+    def test_read_has_all_locations(self):
+        cycles = cycles_by_location(read_breakdown())
+        assert set(cycles) == {"compute", "switch", "memory"}
+
+    def test_memory_node_read_cycles_match_3_2_1(self):
+        # RREQ RX (3) + grant queue (4) + TX data (3) = 10 cycles.
+        assert cycles_by_location(read_breakdown())["memory"] == 10
+
+    def test_compute_node_write_cycles_match_3_2_1(self):
+        # /N/ gen (2) + /G/ RX (2) + grant queue (4) + TX data (3) = 11.
+        assert cycles_by_location(write_breakdown())["compute"] == 11
+
+    def test_format_renders(self):
+        text = format_breakdown(read_breakdown(), "READ")
+        assert "READ" in text and "total" in text

@@ -1,0 +1,75 @@
+"""Tests for the Ethernet MAC framing baseline."""
+
+import pytest
+
+from repro.errors import MacError
+from repro.mac.frame import (
+    HEADER_BYTES,
+    MIN_PAYLOAD_BYTES,
+    EthernetFrame,
+    frame_wire_bytes,
+    frames_needed,
+)
+
+
+class TestFraming:
+    def test_small_payload_padded_to_minimum(self):
+        frame = EthernetFrame(dst_mac=1, src_mac=2, payload=b"hi")
+        assert len(frame.serialize()) == 64
+
+    def test_large_payload_not_padded(self):
+        frame = EthernetFrame(dst_mac=1, src_mac=2, payload=b"\x00" * 1000)
+        assert len(frame.serialize()) == HEADER_BYTES + 1000 + 4
+
+    def test_serialize_parse_roundtrip(self):
+        frame = EthernetFrame(dst_mac=0xAABBCCDDEEFF, src_mac=0x112233445566,
+                              payload=b"\x42" * 100)
+        parsed, fcs_ok = EthernetFrame.parse(frame.serialize())
+        assert fcs_ok
+        assert parsed.dst_mac == frame.dst_mac
+        assert parsed.src_mac == frame.src_mac
+        assert parsed.payload == frame.payload
+
+    def test_corruption_detected_by_fcs(self):
+        raw = bytearray(EthernetFrame(dst_mac=1, src_mac=2, payload=b"x" * 64).serialize())
+        raw[20] ^= 0xFF
+        _, fcs_ok = EthernetFrame.parse(bytes(raw))
+        assert not fcs_ok
+
+    def test_runt_frame_rejected(self):
+        with pytest.raises(MacError):
+            EthernetFrame.parse(b"\x00" * 10)
+
+    def test_jumbo_bound_enforced(self):
+        with pytest.raises(MacError):
+            EthernetFrame(dst_mac=1, src_mac=2, payload=b"\x00" * 9001)
+
+    def test_bad_mac_address_rejected(self):
+        with pytest.raises(MacError):
+            EthernetFrame(dst_mac=1 << 48, src_mac=2, payload=b"x" * 50)
+
+
+class TestWireAccounting:
+    def test_min_frame_wire_bytes(self):
+        # 8 preamble + 64 frame + 12 IFG = 84 B for any payload <= 46 B.
+        assert frame_wire_bytes(8) == 84
+        assert frame_wire_bytes(46) == 84
+
+    def test_wire_bytes_grow_past_min_payload(self):
+        assert frame_wire_bytes(47) == 85
+
+    def test_wire_bytes_matches_frame_object(self):
+        frame = EthernetFrame(dst_mac=1, src_mac=2, payload=b"\x00" * 100)
+        assert frame.wire_bytes == frame_wire_bytes(100)
+
+    def test_frames_needed_mtu_segmentation(self):
+        assert frames_needed(1500) == 1
+        assert frames_needed(1501) == 2
+        assert frames_needed(4000) == 3
+
+    def test_frames_needed_validation(self):
+        with pytest.raises(MacError):
+            frames_needed(0)
+
+    def test_min_payload_constant(self):
+        assert MIN_PAYLOAD_BYTES == 46

@@ -1,0 +1,122 @@
+"""Tests for repro.core.messages: the four message types and control payloads."""
+
+import pytest
+
+from repro.core.messages import (
+    CONTROL_PAYLOAD_BYTES,
+    RREQ_SIZE_BYTES,
+    Grant,
+    MessageType,
+    Notification,
+    make_rmwreq,
+    make_rreq,
+    make_rres,
+    make_wreq,
+)
+from repro.core.opcodes import RmwOpcode
+from repro.errors import ConfigError
+
+
+class TestReadRequest:
+    def test_rreq_is_8_bytes_on_the_wire(self):
+        # §2.3: an RREQ carries only control information — a 64-bit address.
+        rreq = make_rreq(0, 1, address=0xDEAD, read_bytes=64)
+        assert rreq.size_bytes == RREQ_SIZE_BYTES == 8
+
+    def test_rreq_declares_response_demand(self):
+        rreq = make_rreq(0, 1, address=0, read_bytes=1024)
+        assert rreq.response_demand_bytes == 1024
+
+    def test_rreq_requires_positive_demand(self):
+        with pytest.raises(ConfigError):
+            make_rreq(0, 1, address=0, read_bytes=0)
+
+    def test_rreq_is_a_request(self):
+        assert make_rreq(0, 1, address=0, read_bytes=8).is_request
+
+
+class TestWriteRequest:
+    def test_wreq_size_is_payload_size(self):
+        wreq = make_wreq(0, 1, address=0, data_bytes=100)
+        assert wreq.size_bytes == 100
+
+    def test_wreq_has_no_response_demand(self):
+        wreq = make_wreq(0, 1, address=0, data_bytes=64)
+        assert wreq.response_demand_bytes == 0
+
+    def test_wreq_rejects_empty_payload(self):
+        with pytest.raises(ConfigError):
+            make_wreq(0, 1, address=0, data_bytes=0)
+
+
+class TestRmwRequest:
+    def test_cas_request_size(self):
+        msg = make_rmwreq(0, 1, 0, RmwOpcode.COMPARE_AND_SWAP, (1, 2))
+        assert msg.size_bytes == 24
+
+    def test_rmw_response_demand_from_opcode(self):
+        cas = make_rmwreq(0, 1, 0, RmwOpcode.COMPARE_AND_SWAP, (1, 2))
+        assert cas.response_demand_bytes == 1
+        faa = make_rmwreq(0, 1, 0, RmwOpcode.FETCH_AND_ADD, (1,))
+        assert faa.response_demand_bytes == 8
+
+
+class TestReadResponse:
+    def test_rres_reverses_direction(self):
+        rreq = make_rreq(3, 7, address=0, read_bytes=64)
+        rres = make_rres(rreq)
+        assert (rres.src, rres.dst) == (7, 3)
+
+    def test_rres_size_matches_demand(self):
+        rreq = make_rreq(0, 1, address=0, read_bytes=256)
+        assert make_rres(rreq).size_bytes == 256
+
+    def test_rres_links_back_to_request(self):
+        rreq = make_rreq(0, 1, address=0, read_bytes=8)
+        rres = make_rres(rreq)
+        assert rres.in_response_to == rreq.uid
+        assert rres.message_id == rreq.message_id
+
+    def test_no_rres_for_wreq(self):
+        wreq = make_wreq(0, 1, address=0, data_bytes=64)
+        with pytest.raises(ConfigError):
+            make_rres(wreq)
+
+    def test_rres_is_not_a_request(self):
+        rreq = make_rreq(0, 1, address=0, read_bytes=8)
+        assert not make_rres(rreq).is_request
+
+
+class TestValidation:
+    def test_src_equals_dst_rejected(self):
+        with pytest.raises(ConfigError):
+            make_rreq(2, 2, address=0, read_bytes=8)
+
+    def test_node_id_must_fit_9_bits(self):
+        # §3.1.4: 9-bit destination for a 512-node cluster.
+        with pytest.raises(ConfigError):
+            make_rreq(0, 512, address=0, read_bytes=8)
+
+    def test_message_id_must_fit_8_bits(self):
+        with pytest.raises(ConfigError):
+            make_rreq(0, 1, address=0, read_bytes=8, message_id=256)
+
+    def test_uids_are_unique(self):
+        a = make_rreq(0, 1, address=0, read_bytes=8)
+        b = make_rreq(0, 1, address=0, read_bytes=8)
+        assert a.uid != b.uid
+
+
+class TestControlPayloads:
+    def test_notification_wire_size(self):
+        # §3.1.4: 9 + 8 + 16 bits rounds to 5 bytes.
+        n = Notification(src=0, dst=1, message_id=0, size_bytes=64)
+        assert n.wire_bytes == CONTROL_PAYLOAD_BYTES == 5
+
+    def test_grant_wire_size(self):
+        g = Grant(src=0, dst=1, message_id=0, chunk_bytes=256)
+        assert g.wire_bytes == 5
+
+    def test_grant_for_response_flag_defaults_false(self):
+        g = Grant(src=0, dst=1, message_id=0, chunk_bytes=256)
+        assert g.for_response is False

@@ -1,0 +1,99 @@
+"""Tests for repro.core.opcodes: atomic read-modify-write semantics."""
+
+import pytest
+
+from repro.core.opcodes import (
+    RmwOpcode,
+    argument_count,
+    execute,
+    request_size_bytes,
+    response_size_bytes,
+)
+from repro.errors import ConfigError
+
+WORD_MAX = (1 << 64) - 1
+
+
+class TestCompareAndSwap:
+    def test_swap_succeeds_when_expected_matches(self):
+        result = execute(RmwOpcode.COMPARE_AND_SWAP, 5, (5, 9))
+        assert result.swapped is True
+        assert result.new_value == 9
+        assert result.response == 5  # old value
+
+    def test_swap_fails_when_expected_differs(self):
+        result = execute(RmwOpcode.COMPARE_AND_SWAP, 5, (4, 9))
+        assert result.swapped is False
+        assert result.new_value == 5
+
+    def test_cas_request_is_24_bytes(self):
+        # §2.3: "compare-and-swap contains three 64-bit arguments (24 B)".
+        assert request_size_bytes(RmwOpcode.COMPARE_AND_SWAP) == 24
+
+    def test_cas_response_is_minimal(self):
+        assert response_size_bytes(RmwOpcode.COMPARE_AND_SWAP) == 1
+
+
+class TestFetchOps:
+    def test_fetch_and_add(self):
+        result = execute(RmwOpcode.FETCH_AND_ADD, 10, (5,))
+        assert result.new_value == 15
+        assert result.response == 10
+
+    def test_fetch_and_add_wraps_at_64_bits(self):
+        result = execute(RmwOpcode.FETCH_AND_ADD, WORD_MAX, (1,))
+        assert result.new_value == 0
+
+    def test_swap(self):
+        result = execute(RmwOpcode.SWAP, 7, (3,))
+        assert result.new_value == 3
+        assert result.response == 7
+
+    def test_fetch_and_and(self):
+        result = execute(RmwOpcode.FETCH_AND_AND, 0b1100, (0b1010,))
+        assert result.new_value == 0b1000
+
+    def test_fetch_and_or(self):
+        result = execute(RmwOpcode.FETCH_AND_OR, 0b1100, (0b0011,))
+        assert result.new_value == 0b1111
+
+    def test_fetch_and_xor(self):
+        result = execute(RmwOpcode.FETCH_AND_XOR, 0b1100, (0b1010,))
+        assert result.new_value == 0b0110
+
+    def test_fetch_and_min(self):
+        assert execute(RmwOpcode.FETCH_AND_MIN, 10, (3,)).new_value == 3
+        assert execute(RmwOpcode.FETCH_AND_MIN, 2, (3,)).new_value == 2
+
+    def test_fetch_and_max(self):
+        assert execute(RmwOpcode.FETCH_AND_MAX, 10, (30,)).new_value == 30
+        assert execute(RmwOpcode.FETCH_AND_MAX, 40, (30,)).new_value == 40
+
+
+class TestValidation:
+    def test_wrong_argument_count_rejected(self):
+        with pytest.raises(ConfigError):
+            execute(RmwOpcode.FETCH_AND_ADD, 0, (1, 2))
+
+    def test_cas_needs_two_arguments(self):
+        with pytest.raises(ConfigError):
+            execute(RmwOpcode.COMPARE_AND_SWAP, 0, (1,))
+
+    def test_out_of_range_old_value_rejected(self):
+        with pytest.raises(ConfigError):
+            execute(RmwOpcode.FETCH_AND_ADD, -1, (1,))
+
+    def test_arguments_masked_to_64_bits(self):
+        result = execute(RmwOpcode.SWAP, 0, (1 << 65,))
+        assert result.new_value == 0
+
+    def test_argument_counts(self):
+        assert argument_count(RmwOpcode.COMPARE_AND_SWAP) == 2
+        for op in RmwOpcode:
+            if op != RmwOpcode.COMPARE_AND_SWAP:
+                assert argument_count(op) == 1
+
+    def test_all_opcodes_have_sizes(self):
+        for op in RmwOpcode:
+            assert request_size_bytes(op) > 0
+            assert response_size_bytes(op) > 0

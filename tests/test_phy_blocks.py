@@ -1,0 +1,137 @@
+"""Tests for 66-bit PHY block model: formats, pack/unpack, classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhyError
+from repro.phy.blocks import (
+    EDM_TYPES,
+    SYNC_CONTROL,
+    SYNC_DATA,
+    BlockType,
+    PhyBlock,
+    data_block,
+    grant_block,
+    idle_block,
+    mem_single_block,
+    mem_start_block,
+    notify_block,
+    start_block,
+    term_block,
+)
+
+
+class TestFormats:
+    def test_data_block_is_8_bytes(self):
+        block = data_block(b"\x01" * 8)
+        assert block.is_data and len(block.payload) == 8
+
+    def test_data_block_wrong_size_rejected(self):
+        with pytest.raises(PhyError):
+            data_block(b"\x01" * 7)
+
+    def test_control_block_payload_capped_at_7(self):
+        with pytest.raises(PhyError):
+            PhyBlock(sync=SYNC_CONTROL, block_type=BlockType.IDLE, payload=b"x" * 8)
+
+    def test_data_block_has_no_type(self):
+        with pytest.raises(PhyError):
+            PhyBlock(sync=SYNC_DATA, block_type=BlockType.IDLE, payload=b"x" * 8)
+
+    def test_invalid_sync_rejected(self):
+        with pytest.raises(PhyError):
+            PhyBlock(sync=0b11, payload=b"x" * 8)
+
+    def test_idle_block_is_all_zero_payload(self):
+        # §3.2: "idle characters (all 0s by default)".
+        assert idle_block().payload == b"\x00" * 7
+
+    def test_term_blocks_carry_trailing_count(self):
+        for k in range(8):
+            block = term_block(b"z" * k)
+            assert block.trailing_bytes == k
+
+    def test_start_block_needs_exactly_7(self):
+        with pytest.raises(PhyError):
+            start_block(b"abc")
+
+
+class TestEdmBlocks:
+    def test_edm_types_are_distinct_from_standard(self):
+        standard = {
+            BlockType.IDLE, BlockType.START, *[
+                t for t in BlockType if t.name.startswith("TERM")
+            ]
+        }
+        assert not (EDM_TYPES & standard)
+
+    def test_mst_carries_whole_small_message(self):
+        # A message <= 7 B fits in one block vs 9 blocks for a MAC frame.
+        block = mem_single_block(b"\x01\x02\x03")
+        assert block.is_edm and block.is_control
+
+    def test_md_block_tagged_memory(self):
+        block = data_block(b"\x01" * 8, memory=True)
+        assert block.is_edm
+
+    def test_plain_data_block_is_not_edm(self):
+        assert not data_block(b"\x01" * 8).is_edm
+
+    def test_memory_term_block(self):
+        block = term_block(b"xy", memory=True)
+        assert block.block_type == BlockType.MEM_TERM
+
+    def test_notify_and_grant_blocks(self):
+        assert notify_block(b"12345").block_type == BlockType.NOTIFY
+        assert grant_block(b"12345").block_type == BlockType.GRANT
+
+    def test_trailing_bytes_on_non_term_raises(self):
+        with pytest.raises(PhyError):
+            idle_block().trailing_bytes
+
+
+class TestPackUnpack:
+    def test_roundtrip_data_block(self):
+        block = data_block(bytes(range(8)))
+        assert PhyBlock.unpack(block.pack()) == block
+
+    def test_roundtrip_control_blocks(self):
+        for block in (
+            idle_block(),
+            start_block(b"ABCDEFG"),
+            term_block(b"xyz"),
+            mem_start_block(b"1234567"),
+            mem_single_block(b"abc"),
+            notify_block(b"\x01\x02"),
+            grant_block(b"\x03\x04"),
+        ):
+            unpacked = PhyBlock.unpack(block.pack())
+            assert unpacked.block_type == block.block_type
+            # Control payloads are zero-padded to 7 bytes on the wire.
+            assert unpacked.payload.rstrip(b"\x00") == block.payload.rstrip(b"\x00")
+
+    def test_packed_word_is_66_bits(self):
+        word = data_block(b"\xff" * 8).pack()
+        assert 0 <= word < (1 << 66)
+        assert word >> 64 == SYNC_DATA
+
+    def test_memory_tag_restored_out_of_band(self):
+        block = data_block(b"\x01" * 8, memory=True)
+        unpacked = PhyBlock.unpack(block.pack(), is_memory=True)
+        assert unpacked.is_memory
+
+    def test_unknown_block_type_rejected(self):
+        bad = (SYNC_CONTROL << 64) | (0x01 << 56)
+        with pytest.raises(PhyError):
+            PhyBlock.unpack(bad)
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(PhyError):
+            PhyBlock.unpack(1 << 66)
+
+    @given(st.binary(min_size=8, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_property_data_roundtrip(self, payload):
+        block = data_block(payload)
+        assert PhyBlock.unpack(block.pack()).payload == payload

@@ -1,0 +1,68 @@
+"""Property-based invariants on the EDM fabric end-to-end.
+
+Whatever the offered workload, the protocol must (a) complete every
+message exactly once, (b) never produce negative or zero latencies, and
+(c) preserve per-pair issue order for reads (§3.1.1 property 5).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabrics.base import ClusterConfig, OfferedMessage
+from repro.fabrics.edm import EdmFabric
+
+NODES = 5
+
+
+@st.composite
+def workloads(draw):
+    count = draw(st.integers(1, 40))
+    messages = []
+    t = 0.0
+    for i in range(count):
+        t += draw(st.floats(0.0, 200.0))
+        src = draw(st.integers(0, NODES - 1))
+        dst = draw(st.integers(0, NODES - 2))
+        if dst >= src:
+            dst += 1
+        size = draw(st.sampled_from([8, 64, 100, 256, 777, 1024]))
+        is_read = draw(st.booleans())
+        messages.append(
+            OfferedMessage(src=src, dst=dst, size_bytes=size,
+                           arrival_ns=t, is_read=is_read)
+        )
+    return messages
+
+
+class TestFabricInvariants:
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_every_message_completes_exactly_once(self, messages):
+        fabric = EdmFabric(ClusterConfig(num_nodes=NODES, link_gbps=100.0))
+        result = fabric.run(messages, deadline_ns=100_000_000)
+        assert result.incomplete == 0
+        completed_uids = [r.message.uid for r in result.records]
+        assert sorted(completed_uids) == sorted(m.uid for m in messages)
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_latencies_positive_and_causal(self, messages):
+        fabric = EdmFabric(ClusterConfig(num_nodes=NODES, link_gbps=100.0))
+        result = fabric.run(messages, deadline_ns=100_000_000)
+        for record in result.records:
+            assert record.latency_ns > 0
+            assert record.completed_at >= record.message.arrival_ns
+
+    @given(st.integers(2, 8), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_per_pair_read_ordering(self, n_reads, seed):
+        fabric = EdmFabric(ClusterConfig(num_nodes=3, link_gbps=100.0))
+        messages = [
+            OfferedMessage(src=0, dst=1, size_bytes=64,
+                           arrival_ns=float(i), is_read=True)
+            for i in range(n_reads)
+        ]
+        result = fabric.run(messages)
+        completions = sorted(result.records, key=lambda r: r.completed_at)
+        issue_order = [r.message.arrival_ns for r in completions]
+        assert issue_order == sorted(issue_order)

@@ -1,0 +1,191 @@
+"""Unit tests for the baseline queueing substrate internals."""
+
+import pytest
+
+from repro.fabrics.queueing import (
+    BaselineHost,
+    BaselineSwitch,
+    Frame,
+    FlowMessage,
+    LosslessMode,
+    ProtocolPolicy,
+    QueueDiscipline,
+    RREQ_WIRE_BYTES,
+)
+from repro.fabrics.base import OfferedMessage
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+def flow(src=0, dst=1, size=64, is_read=False):
+    offered = OfferedMessage(src=src, dst=dst, size_bytes=size,
+                             arrival_ns=0.0, is_read=is_read)
+    data_src, data_dst = (dst, src) if is_read else (src, dst)
+    return FlowMessage(offered=offered, data_src=data_src,
+                       data_dst=data_dst, data_bytes=size)
+
+
+def frame(src=0, dst=1, wire=84, fl=None, seq=0):
+    return Frame(src=src, dst=dst, wire_bytes=wire,
+                 flow=fl or flow(src=src, dst=dst), seq=seq)
+
+
+def default_policy(**kw):
+    return ProtocolPolicy(name="test", **kw)
+
+
+class TestFlowMessage:
+    def test_single_frame_message(self):
+        f = flow(size=64)
+        assert f.packets_total == 1
+
+    def test_mtu_segmentation(self):
+        f = flow(size=4000)
+        assert f.packets_total == 3
+
+    def test_rreq_wire_constant(self):
+        assert RREQ_WIRE_BYTES == 84  # 8 B payload in a min frame + overheads
+
+
+class TestHostPacing:
+    def test_host_sends_at_line_rate_by_default(self):
+        sim = Simulator()
+        host = BaselineHost(sim, 0, 100.0, default_policy())
+        received = []
+        host.uplink = Link(sim, 100.0, 0.0, receiver=lambda f: received.append(sim.now))
+        for i in range(3):
+            host.inject(frame(seq=i))
+        sim.run()
+        # 84 B at 100 Gbps = 6.72 ns per frame, back to back.
+        assert received[1] - received[0] == pytest.approx(6.72)
+
+    def test_reduced_rate_spaces_frames(self):
+        sim = Simulator()
+        host = BaselineHost(sim, 0, 100.0, default_policy())
+        host.rate_factor = 0.5
+        received = []
+        host.uplink = Link(sim, 100.0, 0.0, receiver=lambda f: received.append(sim.now))
+        for i in range(2):
+            host.inject(frame(seq=i))
+        sim.run()
+        assert received[1] - received[0] == pytest.approx(2 * 6.72)
+
+
+class TestDctcpControlLaw:
+    def test_unmarked_acks_recover_rate(self):
+        sim = Simulator()
+        policy = default_policy(rate_recover=0.1, window_ns=10.0)
+        host = BaselineHost(sim, 0, 100.0, policy)
+        host.rate_factor = 0.5
+        for _ in range(5):
+            host.on_ack(marked=False)
+        sim.run(until=15.0)
+        assert host.rate_factor == pytest.approx(0.6)
+
+    def test_marked_window_cuts_by_alpha_half(self):
+        sim = Simulator()
+        policy = default_policy(window_ns=10.0, dctcp_g=1.0)  # g=1: alpha=F
+        host = BaselineHost(sim, 0, 100.0, policy)
+        for _ in range(2):
+            host.on_ack(marked=True)
+        for _ in range(2):
+            host.on_ack(marked=False)
+        sim.run(until=15.0)
+        # F = 0.5 -> alpha = 0.5 -> rate *= (1 - 0.25).
+        assert host.rate_factor == pytest.approx(0.75)
+
+    def test_rate_floor(self):
+        sim = Simulator()
+        policy = default_policy(window_ns=1.0, dctcp_g=1.0, min_rate_factor=0.2)
+        host = BaselineHost(sim, 0, 100.0, policy)
+        for round_ in range(30):
+            host.on_ack(marked=True)
+            sim.run(until=(round_ + 1) * 2.0)
+        assert host.rate_factor >= 0.2
+
+    def test_rate_control_disabled(self):
+        sim = Simulator()
+        host = BaselineHost(sim, 0, 100.0, default_policy(use_rate_control=False))
+        host.on_ack(marked=True)
+        sim.run()
+        assert host.rate_factor == 1.0
+
+
+def build_switch(policy, nodes=3):
+    sim = Simulator()
+    switch = BaselineSwitch(sim, policy)
+    inbox = {n: [] for n in range(nodes)}
+    for n in range(nodes):
+        switch.attach_port(n, Link(sim, 100.0, 0.0,
+                                   receiver=lambda f, n=n: inbox[n].append(f)))
+    return sim, switch, inbox
+
+
+class TestSwitchQueues:
+    def test_fifo_forwarding(self):
+        sim, switch, inbox = build_switch(default_policy())
+        fl = flow(size=4000)
+        for i in range(3):
+            switch.on_ingress(frame(fl=fl, seq=i))
+        sim.run()
+        assert [f.seq for f in inbox[1]] == [0, 1, 2]
+
+    def test_ecn_marks_above_threshold(self):
+        sim, switch, inbox = build_switch(
+            default_policy(ecn_threshold_bytes=100)
+        )
+        fl = flow(size=4000)
+        for i in range(4):
+            switch.on_ingress(frame(fl=fl, seq=i))
+        sim.run()
+        assert any(f.marked for f in inbox[1])
+
+    def test_finite_buffer_drops_and_reports(self):
+        sim, switch, _ = build_switch(default_policy(buffer_bytes=100))
+        dropped = []
+        switch.on_drop = dropped.append
+        fl = flow(size=4000)
+        for i in range(4):
+            switch.on_ingress(frame(fl=fl, seq=i))
+        sim.run()
+        assert switch.drops > 0 and len(dropped) == switch.drops
+
+    def test_srpt_priority_ordering(self):
+        policy = default_policy(discipline=QueueDiscipline.SRPT)
+        sim, switch, inbox = build_switch(policy)
+        big = flow(src=0, dst=1, size=60000)
+        small = flow(src=2, dst=1, size=64)
+        # Enqueue several big-flow frames, then one small-flow frame: the
+        # small one overtakes everything not already on the wire.
+        for i in range(4):
+            switch.on_ingress(frame(src=0, fl=big, seq=i, wire=1538))
+        switch.on_ingress(frame(src=2, fl=small, seq=0, wire=84))
+        sim.run()
+        order = [f.flow.offered.size_bytes for f in inbox[1]]
+        assert order.index(64) <= 1  # behind at most the in-flight frame
+
+    def test_pfc_pause_blocks_ingress(self):
+        policy = default_policy(
+            lossless=LosslessMode.PAUSE,
+            pause_xoff_bytes=100, pause_xon_bytes=50,
+        )
+        sim, switch, inbox = build_switch(policy)
+        fl = flow(size=60000)
+        for i in range(10):
+            switch.on_ingress(frame(fl=fl, seq=i, wire=1538))
+        sim.run()
+        # Lossless: everything eventually arrives, nothing dropped.
+        assert len(inbox[1]) == 10
+        assert switch.drops == 0
+
+    def test_cxl_credits_bound_in_flight(self):
+        policy = default_policy(
+            lossless=LosslessMode.CREDIT, credit_bytes=2000,
+        )
+        sim, switch, inbox = build_switch(policy)
+        fl = flow(size=60000)
+        for i in range(6):
+            switch.on_ingress(frame(fl=fl, seq=i, wire=1538))
+        sim.run()
+        assert len(inbox[1]) == 6  # lossless, just slower
+        assert switch.drops == 0

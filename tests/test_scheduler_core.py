@@ -1,0 +1,321 @@
+"""Tests for notification queues, priority encoder, PIM, and the grant engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    CentralScheduler,
+    Demand,
+    NotificationQueueBank,
+    PimMatcher,
+    Policy,
+    SchedulerConfig,
+    SourceRequestArray,
+    priority_encode,
+    priority_of,
+)
+from repro.errors import SchedulerError
+
+
+def demand(src, dst, size=64, t=0.0, mid=0, response=False):
+    return Demand(
+        src=src, dst=dst, message_id=mid, total_bytes=size, notified_at=t,
+        message_uid=src * 100000 + dst * 1000 + mid,
+        carried_request="rreq" if response else None,
+    )
+
+
+class TestPriorityEncoder:
+    def test_first_set_bit_wins(self):
+        assert priority_encode([False, True, True]) == 1
+
+    def test_all_clear_returns_none(self):
+        assert priority_encode([False, False]) is None
+
+    def test_source_array_resolves_best_priority(self):
+        array = SourceRequestArray(num_ports=4)
+        array.update_destination(1, 50.0)
+        array.update_destination(2, 10.0)
+        array.update_destination(3, 30.0)
+        array.request(1)
+        array.request(2)
+        assert array.resolve() == 2  # lowest priority value wins
+
+    def test_request_without_demand_raises(self):
+        array = SourceRequestArray(num_ports=4)
+        with pytest.raises(SchedulerError):
+            array.request(1)
+
+    def test_update_to_none_removes(self):
+        array = SourceRequestArray(num_ports=4)
+        array.update_destination(1, 5.0)
+        array.update_destination(1, None)
+        with pytest.raises(SchedulerError):
+            array.request(1)
+
+
+class TestPolicies:
+    def test_fcfs_priority_is_notification_time(self):
+        d = demand(0, 1, t=42.0)
+        assert priority_of(Policy.FCFS, d) == 42.0
+
+    def test_srpt_priority_is_remaining_bytes(self):
+        d = demand(0, 1, size=512)
+        assert priority_of(Policy.SRPT, d) == 512.0
+
+    def test_policy_for_workload(self):
+        from repro.core.scheduler import policy_for_workload
+        assert policy_for_workload(heavy_tailed=True) == Policy.SRPT
+        assert policy_for_workload(heavy_tailed=False) == Policy.FCFS
+
+
+class TestNotificationQueueBank:
+    def test_x_bound_per_pair(self):
+        bank = NotificationQueueBank(num_ports=4, max_active_per_pair=2)
+        bank.add(demand(0, 1, mid=0))
+        bank.add(demand(0, 1, mid=1))
+        assert not bank.can_accept(0, 1)
+        with pytest.raises(SchedulerError):
+            bank.add(demand(0, 1, mid=2))
+
+    def test_response_direction_counts_separately(self):
+        # A host's writes and another host's read responses may share a
+        # port pair; each direction gets its own X budget.
+        bank = NotificationQueueBank(num_ports=4, max_active_per_pair=1)
+        bank.add(demand(0, 1, mid=0))
+        bank.add(demand(0, 1, mid=1, response=True))
+        assert bank.pair_count(0, 1) == 1
+        assert bank.pair_count(0, 1, is_response=True) == 1
+
+    def test_remove_frees_budget(self):
+        bank = NotificationQueueBank(num_ports=4, max_active_per_pair=1)
+        d = demand(0, 1)
+        bank.add(d)
+        bank.remove(d)
+        assert bank.can_accept(0, 1)
+
+    def test_best_eligible_respects_filter(self):
+        bank = NotificationQueueBank(num_ports=4, policy=Policy.SRPT)
+        bank.add(demand(0, 3, size=100))
+        bank.add(demand(1, 3, size=10))
+        busy = {1}
+        best = bank.best_eligible(3, lambda s: s not in busy)
+        assert best.src == 0
+
+    def test_srpt_orders_by_remaining(self):
+        bank = NotificationQueueBank(num_ports=4, policy=Policy.SRPT)
+        bank.add(demand(0, 3, size=100, mid=0))
+        bank.add(demand(1, 3, size=10, mid=1))
+        assert bank.best_priority(3) == 10.0
+
+    def test_reprioritize_after_partial_grant(self):
+        bank = NotificationQueueBank(num_ports=4, policy=Policy.SRPT)
+        big = demand(0, 3, size=1000, mid=0)
+        small = demand(1, 3, size=500, mid=1)
+        bank.add(big)
+        bank.add(small)
+        big.remaining_bytes = 100
+        bank.reprioritize(big)
+        assert bank.best_eligible(3, lambda s: True) is big
+
+
+class TestPim:
+    def test_simple_match(self):
+        bank = NotificationQueueBank(num_ports=4)
+        bank.add(demand(0, 1))
+        matcher = PimMatcher(bank)
+        result = matcher.run(set(), set())
+        assert result.pairs() == {(0, 1, False)}
+        assert result.iterations == 1
+
+    def test_matching_is_a_matching(self):
+        # No source or destination appears twice.
+        bank = NotificationQueueBank(num_ports=8)
+        for s in range(4):
+            for d in range(4, 8):
+                bank.add(demand(s, d, size=64 + s + d, mid=d - 4))
+        result = PimMatcher(bank).run(set(), set())
+        sources = [m.src for m in result.matches]
+        dests = [m.dst for m in result.matches]
+        assert len(sources) == len(set(sources))
+        assert len(dests) == len(set(dests))
+
+    def test_matching_is_maximal(self):
+        # 4 sources x 4 destinations, full demand: a maximal matching
+        # matches all 4 destinations.
+        bank = NotificationQueueBank(num_ports=8)
+        for s in range(4):
+            for d in range(4, 8):
+                bank.add(demand(s, d, mid=d - 4))
+        result = PimMatcher(bank).run(set(), set())
+        assert len(result.matches) == 4
+
+    def test_busy_ports_excluded(self):
+        bank = NotificationQueueBank(num_ports=4)
+        bank.add(demand(0, 1))
+        bank.add(demand(2, 3))
+        result = PimMatcher(bank).run({0}, set())
+        assert result.pairs() == {(2, 3, False)}
+
+    def test_priority_resolves_source_conflict(self):
+        # Two destinations both want source 0; SRPT prefers the smaller.
+        bank = NotificationQueueBank(num_ports=4, policy=Policy.SRPT)
+        bank.add(demand(0, 1, size=1000))
+        bank.add(demand(0, 2, size=10))
+        result = PimMatcher(bank, max_iterations=1).run(set(), set())
+        assert result.matches[0].dst == 2
+
+    def test_iterations_bounded(self):
+        bank = NotificationQueueBank(num_ports=8)
+        for s in range(4):
+            for d in range(4, 8):
+                bank.add(demand(s, d, mid=d - 4))
+        result = PimMatcher(bank).run(set(), set())
+        assert result.iterations <= 8
+        assert result.cycles == result.iterations * 3
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7), st.integers(1, 512)),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_maximal_matching(self, raw):
+        bank = NotificationQueueBank(num_ports=8, max_active_per_pair=64)
+        demands = []
+        for i, (s, d, size) in enumerate(raw):
+            if s == d:
+                continue
+            dm = demand(s, d, size=size, mid=i % 256)
+            bank.add(dm)
+            demands.append(dm)
+        if not demands:
+            return
+        result = PimMatcher(bank).run(set(), set())
+        # Valid: no port reuse.
+        assert len({m.src for m in result.matches}) == len(result.matches)
+        assert len({m.dst for m in result.matches}) == len(result.matches)
+        # Maximal: every unmatched demand conflicts with a matched port.
+        matched_src = {m.src for m in result.matches}
+        matched_dst = {m.dst for m in result.matches}
+        for dm in demands:
+            if dm not in result.matches:
+                assert dm.src in matched_src or dm.dst in matched_dst
+
+
+class TestGrantEngine:
+    def make(self, chunk=256, ports=4, policy=Policy.SRPT):
+        return CentralScheduler(
+            SchedulerConfig(
+                num_ports=ports, link_gbps=100.0, chunk_bytes=chunk, policy=policy
+            )
+        )
+
+    def test_single_small_message_single_grant(self):
+        sched = self.make()
+        sched.notify(demand(0, 1, size=64))
+        issued = sched.schedule(0.0)
+        assert len(issued) == 1
+        assert issued[0].grant.chunk_bytes == 64
+        assert issued[0].completes_message
+        assert sched.pending_demands == 0
+
+    def test_large_message_chunked(self):
+        sched = self.make(chunk=256)
+        sched.notify(demand(0, 1, size=1000))
+        total, grants = 0, 0
+        t = 0.0
+        while sched.pending_demands or total == 0:
+            issued = sched.schedule(t)
+            for item in issued:
+                total += item.grant.chunk_bytes
+                grants += 1
+            t = sched.next_release_after(t) or (t + 1.0)
+            if grants > 10:
+                break
+        assert total == 1000
+        assert grants == 4  # 256+256+256+232
+
+    def test_busy_window_blocks_second_grant(self):
+        sched = self.make()
+        sched.notify(demand(0, 1, size=1000, mid=0))
+        sched.notify(demand(0, 2, size=64, mid=1))
+        issued = sched.schedule(0.0)
+        # Source 0 can only serve one destination at a time.
+        assert len(issued) == 1
+
+    def test_port_release_allows_next_grant(self):
+        sched = self.make()
+        sched.notify(demand(0, 1, size=64, mid=0))
+        issued = sched.schedule(0.0)
+        assert issued
+        # The ports stay busy for the chunk's wire time even though the
+        # message completed (the data is still in flight).
+        release = sched.next_release_after(0.0)
+        assert release == pytest.approx(72 * 8 / 100.0)
+        sched.notify(demand(0, 1, size=64, mid=1))
+        issued2 = sched.schedule(release)
+        assert issued2
+
+    def test_early_release_is_wire_time(self):
+        # §3.1.1 step 7: release l/B after the grant (wire bytes include
+        # /M*/ block framing: 64 B payload -> 9 blocks -> 72 B wire).
+        sched = self.make()
+        sched.notify(demand(0, 1, size=64))
+        sched.schedule(0.0)
+        assert sched.src_free_at(0) == pytest.approx(72 * 8 / 100.0)
+
+    def test_disabling_early_release_doubles_hold(self):
+        config = SchedulerConfig(
+            num_ports=4, link_gbps=100.0, chunk_bytes=256, early_release=False
+        )
+        sched = CentralScheduler(config)
+        sched.notify(demand(0, 1, size=64))
+        sched.schedule(0.0)
+        assert sched.src_free_at(0) == pytest.approx(2 * 72 * 8 / 100.0)
+
+    def test_first_grant_for_rres_is_carried_request(self):
+        sched = self.make()
+        sched.notify(demand(1, 0, size=512, response=True))
+        issued = sched.schedule(0.0)
+        assert issued[0].is_first_for_rres
+        t = sched.next_release_after(0.0)
+        issued2 = sched.schedule(t)
+        assert issued2 and not issued2[0].is_first_for_rres
+        assert issued2[0].grant.for_response
+
+    def test_grant_conservation(self):
+        # Total granted bytes equal total demanded bytes.
+        sched = self.make(chunk=128, ports=6)
+        sizes = {(0, 3): 500, (1, 4): 64, (2, 5): 1000}
+        for i, ((s, d), size) in enumerate(sizes.items()):
+            sched.notify(demand(s, d, size=size, mid=i))
+        granted = 0
+        t = 0.0
+        for _ in range(100):
+            for item in sched.schedule(t):
+                granted += item.grant.chunk_bytes
+            if sched.pending_demands == 0:
+                break
+            t = sched.next_release_after(t) or t + 1.0
+        assert granted == sum(sizes.values())
+
+    def test_srpt_grants_shortest_first(self):
+        sched = self.make(chunk=64)
+        sched.notify(demand(0, 1, size=1000, mid=0))
+        sched.notify(demand(2, 1, size=64, mid=1))
+        issued = sched.schedule(0.0)
+        assert issued[0].demand.src == 2
+
+    def test_fcfs_grants_oldest_first(self):
+        sched = self.make(chunk=64, policy=Policy.FCFS)
+        sched.notify(demand(0, 1, size=64, t=5.0, mid=0))
+        sched.notify(demand(2, 1, size=8, t=1.0, mid=1))
+        issued = sched.schedule(10.0)
+        assert issued[0].demand.src == 2
+
+    def test_average_iterations_tracked(self):
+        sched = self.make()
+        sched.notify(demand(0, 1, size=64))
+        sched.schedule(0.0)
+        assert sched.average_iterations >= 1.0

@@ -1,0 +1,84 @@
+"""Tests for measurement helpers: recorders, normalization, ideal MCT."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.stats import (
+    LatencyRecorder,
+    MctRecorder,
+    Summary,
+    ideal_mct_ns,
+    throughput_mrps,
+)
+
+
+class TestSummary:
+    def test_basic_stats(self):
+        s = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.count == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Summary.of([])
+
+
+class TestLatencyRecorder:
+    def test_record_and_summarize(self):
+        rec = LatencyRecorder()
+        for v in (10.0, 20.0, 30.0):
+            rec.record(v)
+        assert rec.summary().mean == pytest.approx(20.0)
+        assert len(rec) == 3
+
+    def test_labels(self):
+        rec = LatencyRecorder()
+        rec.record(10.0, label="read")
+        rec.record(30.0, label="write")
+        assert rec.summary("read").mean == 10.0
+
+    def test_normalization(self):
+        rec = LatencyRecorder()
+        rec.record(300.0)
+        rec.record(600.0)
+        assert rec.mean_normalized(300.0) == pytest.approx(1.5)
+
+    def test_invalid_inputs(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ConfigError):
+            rec.record(-1.0)
+        with pytest.raises(ConfigError):
+            rec.normalized(0.0)
+
+
+class TestMct:
+    def test_ideal_mct_composition(self):
+        # base + serialization at line rate.
+        assert ideal_mct_ns(1250, 100.0, 300.0) == pytest.approx(400.0)
+
+    def test_mct_recorder_normalization(self):
+        rec = MctRecorder()
+        rec.record(mct_ns=500.0, ideal_ns=250.0)
+        rec.record(mct_ns=300.0, ideal_ns=300.0)
+        assert rec.mean_normalized() == pytest.approx(1.5)
+        assert len(rec) == 2
+
+    def test_empty_recorder_raises(self):
+        with pytest.raises(ConfigError):
+            MctRecorder().mean_normalized()
+
+    def test_invalid_samples_rejected(self):
+        rec = MctRecorder()
+        with pytest.raises(ConfigError):
+            rec.record(mct_ns=-1.0, ideal_ns=10.0)
+
+
+class TestThroughput:
+    def test_mrps(self):
+        # 1000 requests in 1 ms = 1 Mrps.
+        assert throughput_mrps(1000, 1e6) == pytest.approx(1.0)
+
+    def test_zero_elapsed_rejected(self):
+        with pytest.raises(ConfigError):
+            throughput_mrps(10, 0.0)
