@@ -7,109 +7,63 @@
 * early port release on/off (§3.1.1 step 7),
 * intra-frame preemption on/off (§3.2.3),
 * incast stress (the limitation-6 scenario).
+
+Every family runs as a registered experiment through the parallel
+runner; set REPRO_BENCH_JOBS to fan a family's settings out over worker
+processes.
 """
 
-import pytest
-
-from repro.core.scheduler import Policy
-from repro.fabrics.base import ClusterConfig
-from repro.fabrics.edm import EdmFabric
-from repro.workloads import SyntheticSpec, generate, fixed_size
-from repro.workloads.distributions import HADOOP_SORT
+from repro.experiments import run_ablations
 
 NODES = 16
-CONFIG_KW = dict(link_gbps=100.0)
 
 
-def workload(load=0.8, count=6000, cdf=None, seed=3, incast=0.0):
-    return generate(SyntheticSpec(
-        num_nodes=NODES, link_gbps=100.0, load=load, message_count=count,
-        size_cdf=cdf or fixed_size(64), seed=seed, incast_fraction=incast,
-    ))
+def family(name, jobs):
+    return run_ablations(families=(name,), num_nodes=NODES, jobs=jobs)[name]
 
 
-def run_normalized(fabric, messages):
-    result = fabric.run_with_baselines(messages, deadline_ns=5_000_000_000)
-    return result.mean_normalized_latency()
-
-
-def test_ablation_chunk_size(benchmark):
-    msgs = workload(cdf=HADOOP_SORT, count=3000)
-
+def test_ablation_chunk_size(benchmark, bench_jobs):
     def run():
-        out = {}
-        for chunk in (64, 128, 256, 512, 1024):
-            config = ClusterConfig(num_nodes=NODES, chunk_bytes=chunk, **CONFIG_KW)
-            out[chunk] = run_normalized(EdmFabric(config), msgs)
-        return out
+        return family("chunk", bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nchunk size -> normalized latency:", {k: round(v, 3) for k, v in results.items()})
     assert all(v < 4.0 for v in results.values())
 
 
-def test_ablation_x_active_notifications(benchmark):
-    msgs = workload(load=0.8)
-
+def test_ablation_x_active_notifications(benchmark, bench_jobs):
     def run():
-        out = {}
-        for x in (1, 2, 3, 4, 8):
-            config = ClusterConfig(num_nodes=NODES, max_active_per_pair=x, **CONFIG_KW)
-            out[x] = run_normalized(EdmFabric(config), msgs)
-        return out
+        return family("x_active", bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nX -> normalized latency:", {k: round(v, 3) for k, v in results.items()})
     # §4.3: X=3 works best; at minimum it should not lose to X=1.
-    assert results[3] <= results[1] * 1.05
+    assert results["3"] <= results["1"] * 1.05
 
 
-def test_ablation_fcfs_vs_srpt(benchmark):
-    light = workload(cdf=fixed_size(64), count=4000)
-    heavy = workload(cdf=HADOOP_SORT, count=4000)
-    config = ClusterConfig(num_nodes=NODES, **CONFIG_KW)
-
+def test_ablation_fcfs_vs_srpt(benchmark, bench_jobs):
     def run():
-        return {
-            ("light", "FCFS"): run_normalized(EdmFabric(config, policy=Policy.FCFS), light),
-            ("light", "SRPT"): run_normalized(EdmFabric(config, policy=Policy.SRPT), light),
-            ("heavy", "FCFS"): run_normalized(EdmFabric(config, policy=Policy.FCFS), heavy),
-            ("heavy", "SRPT"): run_normalized(EdmFabric(config, policy=Policy.SRPT), heavy),
-        }
+        return family("policy", bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    print("\n(workload, policy) -> normalized:", {k: round(v, 3) for k, v in results.items()})
+    print("\ntail/policy -> normalized:", {k: round(v, 3) for k, v in results.items()})
     # §3.1.1 property 4: SRPT helps heavy-tailed workloads.
-    assert results[("heavy", "SRPT")] <= results[("heavy", "FCFS")] * 1.1
+    assert results["heavy/SRPT"] <= results["heavy/FCFS"] * 1.1
 
 
-def test_ablation_pim_iterations(benchmark):
-    msgs = workload(load=0.8)
-    config = ClusterConfig(num_nodes=NODES, **CONFIG_KW)
-
+def test_ablation_pim_iterations(benchmark, bench_jobs):
     def run():
-        return {
-            iters if iters else "maximal": run_normalized(
-                EdmFabric(config, max_iterations=iters), msgs
-            )
-            for iters in (1, 2, None)
-        }
+        return family("pim_iters", bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nPIM iterations -> normalized:", {k: round(v, 3) for k, v in results.items()})
     # More iterations -> better (or equal) matching -> no worse latency.
-    assert results["maximal"] <= results[1] * 1.05
+    assert results["maximal"] <= results["1"] * 1.05
 
 
-def test_ablation_early_release(benchmark):
-    msgs = workload(load=0.8)
-    config = ClusterConfig(num_nodes=NODES, **CONFIG_KW)
-
+def test_ablation_early_release(benchmark, bench_jobs):
     def run():
-        return {
-            "early": run_normalized(EdmFabric(config, early_release=True), msgs),
-            "late": run_normalized(EdmFabric(config, early_release=False), msgs),
-        }
+        return family("early_release", bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nport release -> normalized:", {k: round(v, 3) for k, v in results.items()})
@@ -117,35 +71,18 @@ def test_ablation_early_release(benchmark):
     assert results["early"] <= results["late"]
 
 
-def test_ablation_preemption(benchmark):
-    from repro.mac.frame import EthernetFrame
-    from repro.phy.encoder import encode_frame, encode_memory_message
-    from repro.phy.preemption import PreemptiveTxMux, memory_latency_blocks
-
+def test_ablation_preemption(benchmark, bench_jobs):
     def run():
-        out = {}
-        for enabled in (False, True):
-            mux = PreemptiveTxMux(preemption_enabled=enabled)
-            frame = EthernetFrame(dst_mac=1, src_mac=2, payload=b"\x00" * 1500)
-            mux.offer_frame(encode_frame(frame.serialize()))
-            mux.offer_memory(encode_memory_message(b"\x01" * 8))
-            out[enabled] = memory_latency_blocks(mux.drain())
-        return out
+        return family("preemption", bench_jobs)
 
     results = benchmark(run)
     print(f"\npreemption off/on -> memory done at block {results}")
-    assert results[True] * 20 < results[False]
+    assert results["on"] * 20 < results["off"]
 
 
-def test_ablation_incast_stress(benchmark):
-    config = ClusterConfig(num_nodes=NODES, **CONFIG_KW)
-
+def test_ablation_incast_stress(benchmark, bench_jobs):
     def run():
-        out = {}
-        for frac in (0.0, 0.25, 0.5):
-            msgs = workload(load=0.7, count=4000, incast=frac)
-            out[frac] = run_normalized(EdmFabric(config), msgs)
-        return out
+        return family("incast", bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print("\nincast fraction -> EDM normalized:", {k: round(v, 3) for k, v in results.items()})

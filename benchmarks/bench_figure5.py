@@ -1,11 +1,11 @@
 """Bench F5 — regenerates Figure 5 (EDM cycle-level latency breakdown)."""
 
-from repro.experiments import run_figure5
+from repro.experiments import run_experiment
 from repro.latency.breakdown import format_breakdown, read_breakdown, write_breakdown
 
 
 def test_figure5(benchmark):
-    totals = benchmark(run_figure5)
+    totals = benchmark(lambda: run_experiment("figure5"))
     print()
     print(format_breakdown(read_breakdown(), "Figure 5 — 64 B READ"))
     print(format_breakdown(write_breakdown(), "Figure 5 — 64 B WRITE"))

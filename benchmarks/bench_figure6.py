@@ -3,8 +3,8 @@
 from repro.experiments import run_figure6
 
 
-def test_figure6(benchmark):
-    rows = benchmark(run_figure6)
+def test_figure6(benchmark, bench_jobs):
+    rows = benchmark(lambda: run_figure6(jobs=bench_jobs))
     print("\nFigure 6 — million requests/sec (100 Gbps):")
     for row in rows:
         print(

@@ -3,8 +3,8 @@
 from repro.experiments import run_figure7
 
 
-def test_figure7(benchmark):
-    rows = benchmark(run_figure7)
+def test_figure7(benchmark, bench_jobs):
+    rows = benchmark(lambda: run_figure7(jobs=bench_jobs))
     print("\nFigure 7 — mean YCSB-A latency (ns) vs placement:")
     for row in rows:
         print(

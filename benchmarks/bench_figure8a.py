@@ -2,17 +2,18 @@
 
 Regenerates Figure 8a's two load-sweep panels (reads and writes) and the
 mixed write:read panel at load 0.8.  Run with ``--benchmark-only``; scale
-with REPRO_BENCH_NODES / REPRO_BENCH_MESSAGES.
+with REPRO_BENCH_NODES / REPRO_BENCH_MESSAGES and parallelize the
+(load, fabric) grid with REPRO_BENCH_JOBS.
 """
 
 from repro.experiments import format_grid, run_figure8a_loads, run_figure8a_mix
 
 
-def test_figure8a_load_sweep(benchmark, fig8a_scale):
+def test_figure8a_load_sweep(benchmark, fig8a_scale, bench_jobs):
     loads = (0.2, 0.5, 0.8, 0.9)
 
     def run():
-        return run_figure8a_loads(loads=loads, scale=fig8a_scale)
+        return run_figure8a_loads(loads=loads, scale=fig8a_scale, jobs=bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -28,11 +29,13 @@ def test_figure8a_load_sweep(benchmark, fig8a_scale):
     assert high["Fastpass"]["read"] > 5.0
 
 
-def test_figure8a_mixed_ratios(benchmark, fig8a_scale):
+def test_figure8a_mixed_ratios(benchmark, fig8a_scale, bench_jobs):
     mixes = ((100, 0), (50, 50), (0, 100))
 
     def run():
-        return run_figure8a_mix(mixes=mixes, load=0.8, scale=fig8a_scale)
+        return run_figure8a_mix(
+            mixes=mixes, load=0.8, scale=fig8a_scale, jobs=bench_jobs
+        )
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

@@ -2,20 +2,21 @@
 
 Regenerates Figure 8b: mean message completion time, normalized by the
 ideal (alone-in-the-network) completion time, for EDM and the baselines
-on Hadoop / Spark / Spark SQL / GraphLab / Memcached traces.
+on Hadoop / Spark / Spark SQL / GraphLab / Memcached traces.  The
+(app, fabric) grid parallelizes with REPRO_BENCH_JOBS.
 """
 
 from repro.experiments import format_grid, run_figure8b
 
 
-def test_figure8b_traces(benchmark, fig8b_scale):
+def test_figure8b_traces(benchmark, fig8b_scale, bench_jobs):
     # The full seven-protocol sweep on all five traces is long; bench the
     # protocols the paper's Figure 8b narrative centres on.
     scale = fig8b_scale
     apps = ("hadoop", "spark", "spark_sql", "graphlab", "memcached")
 
     def run():
-        return run_figure8b(apps=apps, scale=scale)
+        return run_figure8b(apps=apps, scale=scale, jobs=bench_jobs)
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

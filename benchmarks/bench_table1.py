@@ -4,12 +4,12 @@ Prints the same bottom-line rows the paper reports and asserts the
 headline values; the benchmark times the full table computation.
 """
 
-from repro.experiments import run_table1
+from repro.experiments import run_experiment
 from repro.latency.table1 import format_table1, latency_ratios
 
 
 def test_table1(benchmark):
-    rows = benchmark(run_table1)
+    rows = benchmark(lambda: run_experiment("table1"))
     print()
     print(format_table1())
     ratios = latency_ratios()
@@ -27,7 +27,7 @@ def test_table1(benchmark):
 
 def test_table1_testbed_des(benchmark):
     """The DES counterpart: a 25 GbE two-node testbed read/write."""
-    from repro.fabrics.base import ClusterConfig, OfferedMessage
+    from repro.fabrics.base import ClusterConfig
     from repro.fabrics.edm import EdmFabric
 
     fabric = EdmFabric(ClusterConfig(num_nodes=2, link_gbps=25.0))

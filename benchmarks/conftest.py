@@ -4,7 +4,9 @@ Benchmarks regenerate every table and figure of the paper's evaluation at
 a reduced-but-representative scale (32 nodes instead of 144, tens of
 thousands of messages) so the full suite completes in minutes.  Scale up
 via the REPRO_BENCH_NODES / REPRO_BENCH_MESSAGES environment variables to
-approach the paper's configuration.
+approach the paper's configuration, and fan the experiment grid out over
+worker processes with REPRO_BENCH_JOBS (results are bit-identical to a
+serial run — the runner keys results by cell, not completion order).
 """
 
 import os
@@ -15,6 +17,12 @@ from repro.experiments import Figure8aScale, Figure8bScale
 
 BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "16"))
 BENCH_MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "4000"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+@pytest.fixture(scope="session")
+def bench_jobs():
+    return BENCH_JOBS
 
 
 @pytest.fixture(scope="session")

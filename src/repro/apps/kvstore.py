@@ -34,8 +34,6 @@ from repro.phy.encoder import block_count_for_message
 from repro.workloads.ycsb import (
     READ_VALUE_BYTES,
     WRITE_VALUE_BYTES,
-    OpType,
-    YcsbOp,
     YcsbWorkload,
 )
 

@@ -6,26 +6,35 @@ Usage::
     python -m repro.cli figure5
     python -m repro.cli figure6
     python -m repro.cli figure7
-    python -m repro.cli figure8a --nodes 24 --messages 8000 --loads 0.2,0.8
+    python -m repro.cli figure8a --nodes 24 --messages 8000 --loads 0.2,0.8 --jobs 4
     python -m repro.cli figure8b --nodes 12 --messages 1200 --apps memcached
+    python -m repro.cli run figure8a --jobs 4 --out results
+    python -m repro.cli run --list
     python -m repro.cli checks
+
+Simulation subcommands fan their parameter grid out over ``--jobs``
+worker processes (results are bit-identical to ``--jobs 1``) and persist
+a JSON artifact under ``--out`` (default ``results/``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.experiments import (
     Figure8aScale,
     Figure8bScale,
+    Runner,
+    RunnerResult,
+    experiment_names,
     format_grid,
-    run_figure6,
-    run_figure7,
-    run_figure8a_loads,
-    run_figure8b,
+    get_experiment,
     summarize_shape_checks,
+    write_artifact,
 )
 from repro.latency.breakdown import format_breakdown, read_breakdown, write_breakdown
 from repro.latency.table1 import format_table1
@@ -41,36 +50,159 @@ def _cmd_figure5(_: argparse.Namespace) -> None:
     print(format_breakdown(write_breakdown(), "Figure 5 — 64 B WRITE"))
 
 
-def _cmd_figure6(_: argparse.Namespace) -> None:
+def _run_and_persist(
+    name: str, args: argparse.Namespace, options: Dict[str, Any]
+) -> RunnerResult:
+    """Run one experiment through the runner; write an artifact unless opted out."""
+    result = Runner(jobs=args.jobs).run(name, **options)
+    if args.out and not getattr(args, "no_artifact", False):
+        # Record exactly what the runner received — not the raw argparse
+        # namespace, whose flags an experiment may not consume.
+        config = {
+            k: dataclasses.asdict(v) if dataclasses.is_dataclass(v) else v
+            for k, v in options.items()
+        }
+        path = write_artifact(result, out_dir=args.out, config=config)
+        print(f"[artifact] {path}", file=sys.stderr)
+    return result
+
+
+def _cmd_figure6(args: argparse.Namespace) -> None:
+    result = _run_and_persist("figure6", args, {})
     print("Figure 6 — KV throughput (Mrps), EDM vs RDMA:")
-    for row in run_figure6():
+    for row in result.reduced:
         print(
             f"  YCSB-{row['workload']}: EDM {row['edm_mrps']:6.2f}  "
             f"RDMA {row['rdma_mrps']:6.2f}  speedup {row['speedup']:.2f}x"
         )
 
 
-def _cmd_figure7(_: argparse.Namespace) -> None:
+def _cmd_figure7(args: argparse.Namespace) -> None:
+    result = _run_and_persist("figure7", args, {})
     print("Figure 7 — mean YCSB-A latency (ns) vs local:remote placement:")
-    for row in run_figure7():
+    for row in result.reduced:
         print(
             f"  {row['split']:>7}: EDM {row['edm_ns']:7.1f}  "
             f"CXL {row['cxl_ns']:7.1f}  RDMA {row['rdma_ns']:7.1f}"
         )
 
 
+def _parse_loads(text: str) -> tuple:
+    return tuple(float(x) for x in text.split(","))
+
+
+def _parse_fabrics(text: str) -> Optional[tuple]:
+    return tuple(text.split(",")) if text else None
+
+
+def _figure8a_options(args: argparse.Namespace) -> Dict[str, Any]:
+    scale = Figure8aScale(
+        num_nodes=args.nodes,
+        message_count=args.messages,
+        seed=args.seed,
+        fabric_names=_parse_fabrics(args.fabrics),
+    )
+    return {"loads": _parse_loads(args.loads), "scale": scale}
+
+
+def _figure8b_options(args: argparse.Namespace) -> Dict[str, Any]:
+    scale = Figure8bScale(
+        num_nodes=args.nodes,
+        message_count=args.messages,
+        seed=args.seed,
+        fabric_names=_parse_fabrics(args.fabrics),
+    )
+    return {"apps": args.apps.split(",") if args.apps else None, "scale": scale}
+
+
 def _cmd_figure8a(args: argparse.Namespace) -> None:
-    loads = tuple(float(x) for x in args.loads.split(","))
-    scale = Figure8aScale(num_nodes=args.nodes, message_count=args.messages)
-    results = run_figure8a_loads(loads=loads, scale=scale)
-    print(format_grid(results, "Figure 8a — normalized 64 B latency vs load"))
+    result = _run_and_persist("figure8a", args, _figure8a_options(args))
+    print(format_grid(result.reduced, "Figure 8a — normalized 64 B latency vs load"))
 
 
 def _cmd_figure8b(args: argparse.Namespace) -> None:
-    scale = Figure8bScale(num_nodes=args.nodes, message_count=args.messages)
-    apps = args.apps.split(",") if args.apps else None
-    results = run_figure8b(apps=apps, scale=scale)
-    print(format_grid(results, "Figure 8b — normalized MCT per app trace"))
+    result = _run_and_persist("figure8b", args, _figure8b_options(args))
+    print(format_grid(result.reduced, "Figure 8b — normalized MCT per app trace"))
+
+
+#: `run` flag -> (attribute, unset value); used to spot flags a chosen
+#: experiment does not consume.
+_RUN_FLAG_DEFAULTS = {
+    "nodes": 0,
+    "messages": 0,
+    "seed": None,
+    "loads": "0.2,0.5,0.8",
+    "apps": "",
+    "fabrics": "",
+    "families": "",
+}
+
+
+def _warn_ignored_flags(
+    name: str, args: argparse.Namespace, flags: tuple
+) -> None:
+    ignored = [
+        f"--{flag}"
+        for flag in flags
+        if getattr(args, flag) != _RUN_FLAG_DEFAULTS[flag]
+    ]
+    if ignored:
+        print(
+            f"warning: {', '.join(ignored)} not used by {name!r}; ignoring",
+            file=sys.stderr,
+        )
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    if args.list or args.experiment is None:
+        for name in experiment_names():
+            print(f"  {name:<14} {get_experiment(name).description}")
+        if args.experiment is None and not args.list:
+            print("\n(pick one: repro.cli run <experiment>)", file=sys.stderr)
+            sys.exit(2)
+        return
+    name = args.experiment
+    options: Dict[str, Any]
+    if name in ("figure8a", "figure8a_mix"):
+        args.nodes = args.nodes or 24
+        args.messages = args.messages or 8000
+        args.seed = 1 if args.seed is None else args.seed
+        _warn_ignored_flags(name, args, ("families",))
+        options = _figure8a_options(args)
+        if name == "figure8a_mix":
+            options = {"scale": options["scale"]}
+    elif name == "figure8b":
+        args.nodes = args.nodes or 12
+        args.messages = args.messages or 1200
+        args.seed = 1 if args.seed is None else args.seed
+        _warn_ignored_flags(name, args, ("loads", "families"))
+        options = _figure8b_options(args)
+    elif name == "ablations":
+        _warn_ignored_flags(name, args, ("loads", "apps", "fabrics"))
+        options = {
+            "num_nodes": args.nodes or 16,
+            # Canonical ablation seed is 3 (what the benchmarks use).
+            "seed": 3 if args.seed is None else args.seed,
+            "message_count": args.messages or None,
+        }
+        if args.families:
+            options["families"] = tuple(args.families.split(","))
+    else:
+        # Analytic experiments take no scale options.
+        _warn_ignored_flags(
+            name, args,
+            ("nodes", "messages", "seed", "loads", "apps", "fabrics", "families"),
+        )
+        options = {}
+    result = _run_and_persist(name, args, options)
+    reduced = result.reduced
+    if isinstance(reduced, dict) and all(
+        isinstance(v, dict) for v in reduced.values()
+    ):
+        print(format_grid(reduced, f"{name} ({result.jobs} jobs)"))
+    else:
+        print(f"{name} ({result.jobs} jobs):")
+        print(reduced)
 
 
 def _cmd_checks(_: argparse.Namespace) -> None:
@@ -82,6 +214,40 @@ def _cmd_checks(_: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def _add_runner_args(
+    parser: argparse.ArgumentParser, *, out_default: Optional[str] = "results"
+) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the cell grid (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=out_default,
+        help="artifact directory"
+        + (f" (default {out_default}/)" if out_default else " (no artifact unless set)"),
+    )
+    parser.add_argument(
+        "--no-artifact", action="store_true",
+        help="skip writing the JSON artifact",
+    )
+
+
+def _add_scale_args(
+    parser: argparse.ArgumentParser,
+    *,
+    nodes: int,
+    messages: int,
+    seed: Optional[int] = 1,
+) -> None:
+    parser.add_argument("--nodes", type=int, default=nodes)
+    parser.add_argument("--messages", type=int, default=messages)
+    parser.add_argument("--seed", type=int, default=seed)
+    parser.add_argument(
+        "--fabrics", type=str, default="",
+        help="comma-separated fabric names (default: all seven)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with one subcommand per artifact."""
     parser = argparse.ArgumentParser(
@@ -91,20 +257,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="Table 1: unloaded fabric latency").set_defaults(fn=_cmd_table1)
     sub.add_parser("figure5", help="Figure 5: EDM cycle breakdown").set_defaults(fn=_cmd_figure5)
-    sub.add_parser("figure6", help="Figure 6: KV throughput").set_defaults(fn=_cmd_figure6)
-    sub.add_parser("figure7", help="Figure 7: latency vs placement").set_defaults(fn=_cmd_figure7)
+
+    f6 = sub.add_parser("figure6", help="Figure 6: KV throughput")
+    _add_runner_args(f6, out_default=None)
+    f6.set_defaults(fn=_cmd_figure6)
+
+    f7 = sub.add_parser("figure7", help="Figure 7: latency vs placement")
+    _add_runner_args(f7, out_default=None)
+    f7.set_defaults(fn=_cmd_figure7)
 
     f8a = sub.add_parser("figure8a", help="Figure 8a: latency vs load")
-    f8a.add_argument("--nodes", type=int, default=24)
-    f8a.add_argument("--messages", type=int, default=8000)
+    _add_scale_args(f8a, nodes=24, messages=8000)
     f8a.add_argument("--loads", type=str, default="0.2,0.5,0.8")
+    _add_runner_args(f8a)
     f8a.set_defaults(fn=_cmd_figure8a)
 
     f8b = sub.add_parser("figure8b", help="Figure 8b: MCT on app traces")
-    f8b.add_argument("--nodes", type=int, default=12)
-    f8b.add_argument("--messages", type=int, default=1200)
+    _add_scale_args(f8b, nodes=12, messages=1200)
     f8b.add_argument("--apps", type=str, default="")
+    _add_runner_args(f8b)
     f8b.set_defaults(fn=_cmd_figure8b)
+
+    run = sub.add_parser(
+        "run", help="run any registered experiment through the parallel runner"
+    )
+    run.add_argument("experiment", nargs="?", default=None)
+    run.add_argument("--list", action="store_true", help="list experiments")
+    # 0 / unset = the CLI default scale for that experiment (the same
+    # defaults as the dedicated figure8a/figure8b subcommands — reduced
+    # from the papers' 144-node configuration) and its canonical seed.
+    _add_scale_args(run, nodes=0, messages=0, seed=None)
+    run.add_argument("--loads", type=str, default="0.2,0.5,0.8")
+    run.add_argument("--apps", type=str, default="")
+    run.add_argument(
+        "--families", type=str, default="",
+        help="ablations: comma-separated families",
+    )
+    _add_runner_args(run)
+    run.set_defaults(fn=_cmd_run)
 
     sub.add_parser("checks", help="Headline shape checks").set_defaults(fn=_cmd_checks)
     return parser
@@ -113,7 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> None:
     """Entry point: dispatch to the selected artifact generator."""
     args = build_parser().parse_args(argv)
-    args.fn(args)
+    try:
+        args.fn(args)
+    except ReproError as exc:
+        # User-input problems (unknown experiment/fabric, bad --jobs)
+        # surface as clean usage errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)
 
 
 if __name__ == "__main__":

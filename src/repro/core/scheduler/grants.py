@@ -15,7 +15,7 @@ objects, maintaining:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.core.clock import (

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import bisect
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.errors import SchedulerError
 

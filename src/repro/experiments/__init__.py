@@ -1,5 +1,22 @@
-"""Experiment drivers, one per paper table/figure (see DESIGN.md §4)."""
+"""Experiment drivers and the parallel runner (see DESIGN.md §4).
 
+Importing this package registers every experiment spec (figures and
+ablations) with the runner's registry.
+"""
+
+from repro.experiments.runner import (
+    Cell,
+    ExperimentSpec,
+    Runner,
+    RunnerResult,
+    artifact_payload,
+    experiment_names,
+    get_experiment,
+    make_cell,
+    register,
+    run_experiment,
+    write_artifact,
+)
 from repro.experiments.figures import (
     Figure8aScale,
     Figure8bScale,
@@ -13,11 +30,24 @@ from repro.experiments.figures import (
     run_table1,
     summarize_shape_checks,
 )
+from repro.experiments.ablations import FAMILIES, run_ablations
 
 __all__ = [
+    "FAMILIES",
+    "Cell",
+    "ExperimentSpec",
     "Figure8aScale",
     "Figure8bScale",
+    "Runner",
+    "RunnerResult",
+    "artifact_payload",
+    "experiment_names",
     "format_grid",
+    "get_experiment",
+    "make_cell",
+    "register",
+    "run_ablations",
+    "run_experiment",
     "run_figure5",
     "run_figure6",
     "run_figure7",
@@ -26,4 +56,5 @@ __all__ = [
     "run_figure8b",
     "run_table1",
     "summarize_shape_checks",
+    "write_artifact",
 ]

@@ -1,15 +1,19 @@
-"""Experiment drivers: one function per paper table/figure.
+"""Experiment definitions: one registered spec per paper table/figure.
 
-Each ``run_*`` returns plain data (dict / dataclass rows) suitable both
-for the benchmark harness and for EXPERIMENTS.md; each ``format_*``
-renders the same rows the paper reports.  Experiment scale (node count,
-message count) is parameterized so tests run small and benches run at
-representative size.
+Each experiment names a parameter grid of :class:`~repro.experiments.runner.Cell`
+points, a pure per-cell function, and a reducer that reassembles per-cell
+results into the figure's shape.  The ``run_*`` wrappers keep the
+original serial call signatures (plus a ``jobs`` knob) for tests, the
+CLI, and the benchmark harness; they all route through the
+:class:`~repro.experiments.runner.Runner`, so ``jobs=N`` output is
+bit-identical to serial.  Experiment scale (node count, message count)
+is parameterized so tests run small and benches run at representative
+size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.kvstore import (
@@ -17,17 +21,25 @@ from repro.apps.kvstore import (
     kv_latency_ns,
     kv_throughput_mrps,
 )
-from repro.fabrics import ClusterConfig, all_fabrics
+from repro.errors import FabricError
+from repro.fabrics import ClusterConfig, fabric_by_name, fabric_names
 from repro.fabrics.base import Fabric, OfferedMessage
 from repro.latency.breakdown import read_breakdown, total_ns, write_breakdown
 from repro.latency.table1 import compute_table1, latency_ratios
+from repro.experiments.runner import (
+    Cell,
+    ExperimentSpec,
+    Runner,
+    make_cell,
+    register,
+)
+from repro.workloads.distributions import fixed_size
 from repro.workloads.synthetic import SyntheticSpec, generate
 from repro.workloads.traces import TraceSpec, all_apps, generate_trace
-from repro.workloads.distributions import fixed_size
 from repro.workloads.ycsb import WORKLOADS
 
 # --------------------------------------------------------------------------- #
-# Table 1 + Figure 5                                                          #
+# Table 1 + Figure 5 (analytic, single-cell)                                  #
 # --------------------------------------------------------------------------- #
 
 
@@ -52,26 +64,81 @@ def run_figure5() -> Dict[str, float]:
     }
 
 
+def _single_cell(experiment: str):
+    def build() -> List[Cell]:
+        return [make_cell(experiment)]
+
+    return build
+
+
+def _first_result(cells: Sequence[Cell], results: Sequence) -> object:
+    return results[0]
+
+
+register(
+    ExperimentSpec(
+        name="table1",
+        description="Table 1: unloaded fabric latency, four stacks (analytic)",
+        build_cells=_single_cell("table1"),
+        run_cell=lambda cell: run_table1(),
+        reduce=_first_result,
+    )
+)
+
+register(
+    ExperimentSpec(
+        name="figure5",
+        description="Figure 5: EDM 64 B cycle-level latency breakdown (analytic)",
+        build_cells=_single_cell("figure5"),
+        run_cell=lambda cell: run_figure5(),
+        reduce=_first_result,
+    )
+)
+
+
 # --------------------------------------------------------------------------- #
 # Figure 6: KV-store throughput, EDM vs RDMA, YCSB A/B/F                      #
 # --------------------------------------------------------------------------- #
 
 
-def run_figure6(link_gbps: float = 100.0) -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
-    for name in ("A", "B", "F"):
-        workload = WORKLOADS[name]
-        edm = kv_throughput_mrps("EDM", workload, link_gbps)
-        rdma = kv_throughput_mrps("RDMA", workload, link_gbps)
-        rows.append(
-            {
-                "workload": name,
-                "edm_mrps": edm.mrps,
-                "rdma_mrps": rdma.mrps,
-                "speedup": edm.mrps / rdma.mrps,
-            }
-        )
-    return rows
+def _figure6_cells(link_gbps: float = 100.0) -> List[Cell]:
+    return [
+        make_cell("figure6", extra={"workload": name, "link_gbps": link_gbps})
+        for name in ("A", "B", "F")
+    ]
+
+
+def _figure6_cell(cell: Cell) -> Dict[str, object]:
+    name = cell.param("workload")
+    link_gbps = cell.param("link_gbps")
+    workload = WORKLOADS[name]
+    edm = kv_throughput_mrps("EDM", workload, link_gbps)
+    rdma = kv_throughput_mrps("RDMA", workload, link_gbps)
+    return {
+        "workload": name,
+        "edm_mrps": edm.mrps,
+        "rdma_mrps": rdma.mrps,
+        "speedup": edm.mrps / rdma.mrps,
+    }
+
+
+def _rows(cells: Sequence[Cell], results: Sequence) -> List:
+    return list(results)
+
+
+register(
+    ExperimentSpec(
+        name="figure6",
+        description="Figure 6: KV throughput (Mrps), EDM vs RDMA, YCSB A/B/F",
+        build_cells=_figure6_cells,
+        run_cell=_figure6_cell,
+        reduce=_rows,
+    )
+)
+
+
+def run_figure6(link_gbps: float = 100.0, jobs: int = 1) -> List[Dict[str, object]]:
+    return Runner(jobs=jobs).run("figure6", link_gbps=link_gbps).reduced
 
 
 # --------------------------------------------------------------------------- #
@@ -79,16 +146,41 @@ def run_figure6(link_gbps: float = 100.0) -> List[Dict[str, object]]:
 # --------------------------------------------------------------------------- #
 
 
-def run_figure7(link_gbps: float = 100.0) -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
-    for local, remote in FIGURE7_SPLITS:
-        row: Dict[str, object] = {"split": f"{local}:{remote}"}
-        for stack in ("EDM", "CXL", "RDMA"):
-            row[stack.lower() + "_ns"] = kv_latency_ns(
-                stack, local, remote, link_gbps=link_gbps
-            ).mean_ns
-        rows.append(row)
-    return rows
+def _figure7_cells(link_gbps: float = 100.0) -> List[Cell]:
+    return [
+        make_cell(
+            "figure7",
+            extra={"local": local, "remote": remote, "link_gbps": link_gbps},
+        )
+        for local, remote in FIGURE7_SPLITS
+    ]
+
+
+def _figure7_cell(cell: Cell) -> Dict[str, object]:
+    local = cell.param("local")
+    remote = cell.param("remote")
+    link_gbps = cell.param("link_gbps")
+    row: Dict[str, object] = {"split": f"{local}:{remote}"}
+    for stack in ("EDM", "CXL", "RDMA"):
+        row[stack.lower() + "_ns"] = kv_latency_ns(
+            stack, local, remote, link_gbps=link_gbps
+        ).mean_ns
+    return row
+
+
+register(
+    ExperimentSpec(
+        name="figure7",
+        description="Figure 7: KV latency (ns) vs local:remote placement",
+        build_cells=_figure7_cells,
+        run_cell=_figure7_cell,
+        reduce=_rows,
+    )
+)
+
+
+def run_figure7(link_gbps: float = 100.0, jobs: int = 1) -> List[Dict[str, object]]:
+    return Runner(jobs=jobs).run("figure7", link_gbps=link_gbps).reduced
 
 
 # --------------------------------------------------------------------------- #
@@ -108,12 +200,52 @@ class Figure8aScale:
     fabric_names: Optional[Sequence[str]] = None  # None = all seven
 
 
-def _selected_fabrics(config: ClusterConfig, names: Optional[Sequence[str]]):
-    fabrics = all_fabrics(config)
+def _selected_fabric_names(names: Optional[Sequence[str]]) -> List[str]:
+    """Legend names filtered case-insensitively, in the legend's order."""
     if names is None:
-        return fabrics
+        return fabric_names()
+    known = {n.lower(): n for n in fabric_names()}
+    unknown = [n for n in names if n.lower() not in known]
+    if unknown:
+        raise FabricError(
+            f"unknown fabric(s) {', '.join(unknown)} "
+            f"(known: {', '.join(fabric_names())})"
+        )
     wanted = {n.lower() for n in names}
-    return [f for f in fabrics if f.name.lower() in wanted]
+    return [n for n in fabric_names() if n.lower() in wanted]
+
+
+def _scale_params(scale) -> Dict[str, object]:
+    """The shared simulation-size knobs a cell carries (8a and 8b scales)."""
+    return {
+        "num_nodes": scale.num_nodes,
+        "link_gbps": scale.link_gbps,
+        "message_count": scale.message_count,
+        "deadline_ns": scale.deadline_ns,
+    }
+
+
+def _cluster_config(cell: Cell) -> ClusterConfig:
+    return ClusterConfig(
+        num_nodes=cell.param("num_nodes"),
+        link_gbps=cell.param("link_gbps"),
+        seed=cell.seed,
+    )
+
+
+def _synthetic_messages(cell: Cell, write_fraction: float) -> List[OfferedMessage]:
+    """The 64 B microbenchmark workload for one (load, fabric) cell."""
+    spec = SyntheticSpec(
+        num_nodes=cell.param("num_nodes"),
+        link_gbps=cell.param("link_gbps"),
+        load=cell.load,
+        message_count=cell.param("message_count"),
+        size_cdf=fixed_size(64),
+        write_fraction=write_fraction,
+        seed=cell.seed,
+        incast_fraction=0.0,
+    )
+    return generate(spec)
 
 
 def _run_point(
@@ -131,60 +263,142 @@ def _run_point(
     return out
 
 
+def _figure8a_cells(
+    loads: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.9),
+    write_fraction: float = 0.5,
+    scale: Figure8aScale = Figure8aScale(),
+) -> List[Cell]:
+    return [
+        make_cell(
+            "figure8a",
+            fabric=fabric,
+            load=load,
+            seed=scale.seed,
+            scale=_scale_params(scale),
+            extra={"write_fraction": write_fraction},
+        )
+        for load in loads
+        for fabric in _selected_fabric_names(scale.fabric_names)
+    ]
+
+
+def _figure8a_cell(cell: Cell) -> Dict[str, float]:
+    messages = _synthetic_messages(cell, cell.param("write_fraction"))
+    fabric = fabric_by_name(cell.fabric, _cluster_config(cell))
+    return _run_point(fabric, messages, cell.param("deadline_ns"))
+
+
+def _figure8a_reduce(
+    cells: Sequence[Cell], results: Sequence
+) -> Dict[float, Dict[str, Dict[str, float]]]:
+    out: Dict[float, Dict[str, Dict[str, float]]] = {}
+    for cell, value in zip(cells, results):
+        out.setdefault(cell.load, {})[cell.fabric] = value
+    return out
+
+
+register(
+    ExperimentSpec(
+        name="figure8a",
+        description="Figure 8a: normalized 64 B latency vs load, all protocols",
+        build_cells=_figure8a_cells,
+        run_cell=_figure8a_cell,
+        reduce=_figure8a_reduce,
+    )
+)
+
+
 def run_figure8a_loads(
     loads: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 0.9),
     write_fraction: float = 0.5,
     scale: Figure8aScale = Figure8aScale(),
+    jobs: int = 1,
 ) -> Dict[float, Dict[str, Dict[str, float]]]:
     """Normalized 64 B read/write latency vs load, all protocols."""
-    config = ClusterConfig(num_nodes=scale.num_nodes, link_gbps=scale.link_gbps)
-    results: Dict[float, Dict[str, Dict[str, float]]] = {}
-    for load in loads:
-        spec = SyntheticSpec(
-            num_nodes=scale.num_nodes,
-            link_gbps=scale.link_gbps,
+    return (
+        Runner(jobs=jobs)
+        .run("figure8a", loads=loads, write_fraction=write_fraction, scale=scale)
+        .reduced
+    )
+
+
+def _figure8a_mix_cells(
+    mixes: Sequence[Tuple[int, int]] = (
+        (100, 0),
+        (80, 20),
+        (50, 50),
+        (20, 80),
+        (0, 100),
+    ),
+    load: float = 0.8,
+    scale: Figure8aScale = Figure8aScale(),
+) -> List[Cell]:
+    return [
+        make_cell(
+            "figure8a_mix",
+            fabric=fabric,
             load=load,
-            message_count=scale.message_count,
-            size_cdf=fixed_size(64),
-            write_fraction=write_fraction,
             seed=scale.seed,
-            incast_fraction=0.0,
+            scale=_scale_params(scale),
+            extra={"write_parts": write_parts, "read_parts": read_parts},
         )
-        messages = generate(spec)
-        results[load] = {
-            fabric.name: _run_point(fabric, messages, scale.deadline_ns)
-            for fabric in _selected_fabrics(config, scale.fabric_names)
-        }
-    return results
+        for write_parts, read_parts in mixes
+        for fabric in _selected_fabric_names(scale.fabric_names)
+    ]
+
+
+def _figure8a_mix_cell(cell: Cell) -> float:
+    write_parts = cell.param("write_parts")
+    read_parts = cell.param("read_parts")
+    messages = _synthetic_messages(
+        cell, write_parts / (write_parts + read_parts)
+    )
+    fabric = fabric_by_name(cell.fabric, _cluster_config(cell))
+    result = fabric.run_with_baselines(
+        messages, deadline_ns=cell.param("deadline_ns")
+    )
+    return result.mean_normalized_latency()
+
+
+def _figure8a_mix_reduce(
+    cells: Sequence[Cell], results: Sequence
+) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for cell, value in zip(cells, results):
+        key = f"{cell.param('write_parts')}:{cell.param('read_parts')}"
+        out.setdefault(key, {})[cell.fabric] = value
+    return out
+
+
+register(
+    ExperimentSpec(
+        name="figure8a_mix",
+        description="Figure 8a (right panel): mixed write:read ratios at fixed load",
+        build_cells=_figure8a_mix_cells,
+        run_cell=_figure8a_mix_cell,
+        reduce=_figure8a_mix_reduce,
+    )
+)
 
 
 def run_figure8a_mix(
-    mixes: Sequence[Tuple[int, int]] = ((100, 0), (80, 20), (50, 50), (20, 80), (0, 100)),
+    mixes: Sequence[Tuple[int, int]] = (
+        (100, 0),
+        (80, 20),
+        (50, 50),
+        (20, 80),
+        (0, 100),
+    ),
     load: float = 0.8,
     scale: Figure8aScale = Figure8aScale(),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Mixed write:read ratios at a fixed load (the figure's right panel)."""
-    config = ClusterConfig(num_nodes=scale.num_nodes, link_gbps=scale.link_gbps)
-    results: Dict[str, Dict[str, float]] = {}
-    for write_parts, read_parts in mixes:
-        total = write_parts + read_parts
-        spec = SyntheticSpec(
-            num_nodes=scale.num_nodes,
-            link_gbps=scale.link_gbps,
-            load=load,
-            message_count=scale.message_count,
-            size_cdf=fixed_size(64),
-            write_fraction=write_parts / total,
-            seed=scale.seed,
-            incast_fraction=0.0,
-        )
-        messages = generate(spec)
-        key = f"{write_parts}:{read_parts}"
-        results[key] = {}
-        for fabric in _selected_fabrics(config, scale.fabric_names):
-            result = fabric.run_with_baselines(messages, deadline_ns=scale.deadline_ns)
-            results[key][fabric.name] = result.mean_normalized_latency()
-    return results
+    return (
+        Runner(jobs=jobs)
+        .run("figure8a_mix", mixes=mixes, load=load, scale=scale)
+        .reduced
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -205,31 +419,68 @@ class Figure8bScale:
     fabric_names: Optional[Sequence[str]] = None
 
 
+def _figure8b_cells(
+    apps: Optional[Sequence[str]] = None,
+    scale: Figure8bScale = Figure8bScale(),
+) -> List[Cell]:
+    apps = list(apps) if apps is not None else all_apps()
+    return [
+        make_cell(
+            "figure8b",
+            fabric=fabric,
+            load=scale.load,
+            seed=scale.seed,
+            scale=_scale_params(scale),
+            extra={"app": app},
+        )
+        for app in apps
+        for fabric in _selected_fabric_names(scale.fabric_names)
+    ]
+
+
+def _figure8b_cell(cell: Cell) -> float:
+    trace = generate_trace(
+        TraceSpec(
+            app=cell.param("app"),
+            num_nodes=cell.param("num_nodes"),
+            link_gbps=cell.param("link_gbps"),
+            load=cell.load,
+            message_count=cell.param("message_count"),
+            seed=cell.seed,
+        )
+    )
+    fabric = fabric_by_name(cell.fabric, _cluster_config(cell))
+    result = fabric.run(trace, deadline_ns=cell.param("deadline_ns"))
+    return result.mean_normalized_mct(_calibrate_ideal(fabric))
+
+
+def _figure8b_reduce(
+    cells: Sequence[Cell], results: Sequence
+) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for cell, value in zip(cells, results):
+        out.setdefault(cell.param("app"), {})[cell.fabric] = value
+    return out
+
+
+register(
+    ExperimentSpec(
+        name="figure8b",
+        description="Figure 8b: normalized MCT per application trace",
+        build_cells=_figure8b_cells,
+        run_cell=_figure8b_cell,
+        reduce=_figure8b_reduce,
+    )
+)
+
+
 def run_figure8b(
     apps: Optional[Sequence[str]] = None,
     scale: Figure8bScale = Figure8bScale(),
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Mean normalized MCT per application trace, all protocols."""
-    config = ClusterConfig(num_nodes=scale.num_nodes, link_gbps=scale.link_gbps)
-    apps = list(apps) if apps is not None else all_apps()
-    results: Dict[str, Dict[str, float]] = {}
-    for app in apps:
-        trace = generate_trace(
-            TraceSpec(
-                app=app,
-                num_nodes=scale.num_nodes,
-                link_gbps=scale.link_gbps,
-                load=scale.load,
-                message_count=scale.message_count,
-                seed=scale.seed,
-            )
-        )
-        results[app] = {}
-        for fabric in _selected_fabrics(config, scale.fabric_names):
-            result = fabric.run(trace, deadline_ns=scale.deadline_ns)
-            ideal = _calibrate_ideal(fabric)
-            results[app][fabric.name] = result.mean_normalized_mct(ideal)
-    return results
+    return Runner(jobs=jobs).run("figure8b", apps=apps, scale=scale).reduced
 
 
 def _calibrate_ideal(fabric: Fabric):

@@ -1,0 +1,349 @@
+"""Parallel experiment runner: registry, cell grids, workers, artifacts.
+
+The evaluation surface (Table 1, Figures 5-8, the ablation sweeps)
+decomposes into *cells* — independent ``(fabric, load, seed, scale)``
+points of a parameter grid.  Each registered :class:`ExperimentSpec`
+names its grid builder, a pure per-cell function, and a reducer that
+reassembles per-cell results into the figure's shape.  The
+:class:`Runner` fans cells out over ``multiprocessing`` workers and
+stores results keyed by cell index, so parallel output is bit-identical
+to a serial run regardless of worker completion order.
+
+Artifacts: :func:`write_artifact` persists the reduced results plus the
+full per-cell record, the run configuration, and git metadata to
+``results/<experiment>/<stamp>.json`` so sweeps are comparable across
+commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from multiprocessing import get_context
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigError
+
+#: Frozen, hashable form of a parameter mapping (sorted key/value pairs).
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze(params: Optional[Mapping[str, Any]]) -> Params:
+    if not params:
+        return ()
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of an experiment's parameter grid.
+
+    ``scale`` holds the simulation-size knobs (node count, message count,
+    deadline); ``extra`` holds experiment-specific parameters (app name,
+    write:read mix, ablation setting).  Both are stored as sorted tuples
+    so cells are hashable, picklable, and produce stable keys.
+    """
+
+    experiment: str
+    fabric: Optional[str] = None
+    load: Optional[float] = None
+    seed: int = 0
+    scale: Params = ()
+    extra: Params = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up a parameter in ``extra`` then ``scale``."""
+        for key, value in self.extra + self.scale:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity, used to key artifact records."""
+        parts: List[str] = []
+        if self.fabric is not None:
+            parts.append(f"fabric={self.fabric}")
+        if self.load is not None:
+            parts.append(f"load={self.load:g}")
+        parts.append(f"seed={self.seed}")
+        parts.extend(f"{k}={v}" for k, v in self.extra)
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"experiment": self.experiment, "seed": self.seed}
+        if self.fabric is not None:
+            out["fabric"] = self.fabric
+        if self.load is not None:
+            out["load"] = self.load
+        if self.scale:
+            out["scale"] = dict(self.scale)
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+
+def make_cell(
+    experiment: str,
+    *,
+    fabric: Optional[str] = None,
+    load: Optional[float] = None,
+    seed: int = 0,
+    scale: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Cell:
+    """Build a :class:`Cell`, freezing the parameter mappings."""
+    return Cell(
+        experiment=experiment,
+        fabric=fabric,
+        load=load,
+        seed=seed,
+        scale=_freeze(scale),
+        extra=_freeze(extra),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry                                                                    #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment: grid builder, pure cell function, reducer.
+
+    ``run_cell`` must be a module-level function — worker processes look
+    the spec up by name and call it, so it is never pickled itself.
+    ``reduce`` receives the cells and their results in grid order.
+    """
+
+    name: str
+    description: str
+    build_cells: Callable[..., Sequence[Cell]]
+    run_cell: Callable[[Cell], Any]
+    reduce: Callable[[Sequence[Cell], Sequence[Any]], Any]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the global registry (idempotent per identical name)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec:
+        raise ConfigError(f"experiment {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_registered() -> None:
+    # Importing the package pulls in every module that registers specs;
+    # needed in workers started with the "spawn" method, where module
+    # state is not inherited from the parent.
+    import repro.experiments  # noqa: F401
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown experiment {name!r} (known: {known})") from exc
+
+
+def experiment_names() -> List[str]:
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+# --------------------------------------------------------------------------- #
+# Runner                                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def _run_indexed_cell(payload: Tuple[str, int, Cell]) -> Tuple[int, Any]:
+    """Worker entry point: resolve the spec by name and run one cell."""
+    name, index, cell = payload
+    return index, get_experiment(name).run_cell(cell)
+
+
+@dataclass
+class RunnerResult:
+    """Outcome of one experiment run: per-cell results plus the reduction."""
+
+    experiment: str
+    jobs: int
+    cells: List[Cell]
+    cell_results: List[Any]
+    reduced: Any
+    elapsed_s: float
+
+    def by_key(self) -> Dict[str, Any]:
+        return {c.key: r for c, r in zip(self.cells, self.cell_results)}
+
+
+class Runner:
+    """Fans experiment cells out over ``multiprocessing`` workers.
+
+    ``jobs=1`` runs in-process through the same per-cell code path, so
+    the two modes are numerically identical by construction.
+    """
+
+    def __init__(self, jobs: int = 1, mp_context: Optional[str] = None) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._mp_context = mp_context
+
+    def run(
+        self, experiment: Union[str, ExperimentSpec], **options: Any
+    ) -> RunnerResult:
+        spec = (
+            experiment
+            if isinstance(experiment, ExperimentSpec)
+            else get_experiment(experiment)
+        )
+        cells = list(spec.build_cells(**options))
+        if not cells:
+            raise ConfigError(f"experiment {spec.name!r} built an empty grid")
+        start = time.perf_counter()
+        results = self._map(spec, cells)
+        reduced = spec.reduce(cells, results)
+        elapsed = time.perf_counter() - start
+        return RunnerResult(
+            experiment=spec.name,
+            jobs=self.jobs,
+            cells=cells,
+            cell_results=results,
+            reduced=reduced,
+            elapsed_s=elapsed,
+        )
+
+    def _map(self, spec: ExperimentSpec, cells: List[Cell]) -> List[Any]:
+        if self.jobs == 1 or len(cells) == 1:
+            return [spec.run_cell(cell) for cell in cells]
+        # Workers resolve the spec by name, so an unregistered (or
+        # name-shadowed) spec would run the wrong run_cell over there.
+        if _REGISTRY.get(spec.name) is not spec:
+            raise ConfigError(
+                f"experiment {spec.name!r} must be register()ed (and not "
+                f"shadowed) before running with jobs > 1"
+            )
+        payloads = [(spec.name, i, cell) for i, cell in enumerate(cells)]
+        results: List[Any] = [None] * len(cells)
+        ctx = get_context(self._mp_context)
+        with ctx.Pool(processes=min(self.jobs, len(cells))) as pool:
+            for index, value in pool.imap_unordered(_run_indexed_cell, payloads):
+                results[index] = value
+        return results
+
+
+def run_experiment(name: str, *, jobs: int = 1, **options: Any) -> Any:
+    """Convenience wrapper: run a registered experiment, return the reduction."""
+    return Runner(jobs=jobs).run(name, **options).reduced
+
+
+# --------------------------------------------------------------------------- #
+# Artifacts                                                                   #
+# --------------------------------------------------------------------------- #
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def git_metadata(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """Best-effort commit/branch/dirty info for trend tracking.
+
+    Defaults to the directory this module lives in, so artifacts record
+    the state of the repo the *code* came from, not whatever directory
+    the process happens to run in.  All fields are null when the code is
+    not inside a git checkout (e.g. installed into site-packages).
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+
+    def _git(*args: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ["git", *args],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return proc.stdout.strip() if proc.returncode == 0 else None
+
+    status = _git("status", "--porcelain")
+    return {
+        "commit": _git("rev-parse", "HEAD"),
+        "branch": _git("rev-parse", "--abbrev-ref", "HEAD"),
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def _json_default(value: Any) -> Any:
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    raise TypeError(f"not JSON-serializable: {type(value)!r}")
+
+
+def artifact_payload(
+    result: RunnerResult,
+    config: Optional[Mapping[str, Any]] = None,
+    created_at: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The artifact body; split out so tests can compare modulo timestamps."""
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "experiment": result.experiment,
+        "created_at": created_at
+        or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "jobs": result.jobs,
+        "elapsed_s": round(result.elapsed_s, 3),
+        "git": git_metadata(),
+        "config": dict(config or {}),
+        "cells": [
+            {"key": cell.key, **cell.to_dict(), "result": value}
+            for cell, value in zip(result.cells, result.cell_results)
+        ],
+        "results": result.reduced,
+    }
+
+
+def write_artifact(
+    result: RunnerResult,
+    out_dir: str = "results",
+    config: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Persist a run to ``<out_dir>/<experiment>/<stamp>.json``; returns the path."""
+    directory = os.path.join(out_dir, result.experiment)
+    os.makedirs(directory, exist_ok=True)
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    path = os.path.join(directory, f"{stamp}.json")
+    suffix = 1
+    while os.path.exists(path):
+        path = os.path.join(directory, f"{stamp}-{suffix}.json")
+        suffix += 1
+    payload = artifact_payload(result, config=config)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=_json_default)
+        fh.write("\n")
+    return path

@@ -1,5 +1,6 @@
 """Cluster-scale fabric models: EDM plus the six §4.3 baselines."""
 
+from repro.errors import FabricError
 from repro.fabrics.base import (
     ClusterConfig,
     CompletionRecord,
@@ -16,21 +17,40 @@ from repro.fabrics.ird import IrdFabric
 from repro.fabrics.pfabric import PfabricFabric
 from repro.fabrics.pfc import PfcFabric
 
+#: name -> constructor, in Figure 8's legend order.
+FABRIC_FACTORIES = {
+    "EDM": EdmFabric,
+    "IRD": IrdFabric,
+    "pFabric": PfabricFabric,
+    "PFC": PfcFabric,
+    "DCTCP": DctcpFabric,
+    "CXL": CxlFabric,
+    "Fastpass": FastpassFabric,
+}
+
 
 def all_fabrics(config: ClusterConfig):
     """The seven protocols of Figure 8, in the legend's order."""
-    return [
-        EdmFabric(config),
-        IrdFabric(config),
-        PfabricFabric(config),
-        PfcFabric(config),
-        DctcpFabric(config),
-        CxlFabric(config),
-        FastpassFabric(config),
-    ]
+    return [factory(config) for factory in FABRIC_FACTORIES.values()]
+
+
+def fabric_names():
+    """The seven protocol names, in the legend's order."""
+    return list(FABRIC_FACTORIES)
+
+
+def fabric_by_name(name: str, config: ClusterConfig) -> Fabric:
+    """Instantiate one fabric by its (case-insensitive) legend name."""
+    for known, factory in FABRIC_FACTORIES.items():
+        if known.lower() == name.lower():
+            return factory(config)
+    raise FabricError(
+        f"unknown fabric {name!r} (known: {', '.join(FABRIC_FACTORIES)})"
+    )
 
 
 __all__ = [
+    "FABRIC_FACTORIES",
     "ClusterConfig",
     "CompletionRecord",
     "CxlFabric",
@@ -46,4 +66,6 @@ __all__ = [
     "PfcFabric",
     "all_fabrics",
     "dominant_sizes",
+    "fabric_by_name",
+    "fabric_names",
 ]

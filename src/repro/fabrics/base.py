@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import FabricError
+from repro.sim.rng import make_rng
 
 _uid_counter = itertools.count()
 
@@ -126,12 +127,15 @@ class ClusterConfig:
     propagation_ns: float = 10.0
     chunk_bytes: int = 256
     max_active_per_pair: int = 3
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
             raise FabricError(f"cluster needs >= 2 nodes: {self.num_nodes}")
         if self.link_gbps <= 0:
             raise FabricError(f"link rate must be positive: {self.link_gbps}")
+        if self.seed < 0:
+            raise FabricError(f"seed must be non-negative: {self.seed}")
 
 
 class Fabric(abc.ABC):
@@ -141,6 +145,10 @@ class Fabric(abc.ABC):
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
+        # Per-fabric stream derived from the cluster seed: every runner
+        # cell builds its own config, so cells stay independently
+        # reproducible even when fabric models draw random numbers.
+        self.rng = make_rng(config.seed)
 
     @abc.abstractmethod
     def run(

@@ -17,7 +17,7 @@ simulation needs for the latter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.clock import PCS_CYCLE_NS

@@ -10,7 +10,7 @@ standard stack unaware that its IFG was borrowed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import PhyError
 from repro.phy.blocks import BlockType, PhyBlock, idle_block
@@ -53,8 +53,12 @@ class EdmRxDemux:
     def push(self, block: PhyBlock, result: DemuxResult) -> None:
         """Process one received block into ``result``."""
         if block.is_control and block.block_type == BlockType.MEM_SINGLE:
+            # The block keeps its unpadded payload length (padding is only
+            # applied in pack()), so the bytes are extracted verbatim —
+            # stripping trailing zeros here would corrupt payloads whose
+            # real data ends in \x00.
             result.memory_messages.append(
-                ExtractedMessage(payload=bytes(block.payload.rstrip(b"\x00") or b"\x00"), block_count=1)
+                ExtractedMessage(payload=bytes(block.payload), block_count=1)
             )
             result.ethernet_blocks.append(idle_block())
             return

@@ -7,7 +7,7 @@ Every stochastic component takes an explicit seed (or a parent
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

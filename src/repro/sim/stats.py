@@ -44,6 +44,29 @@ class Summary:
             minimum=float(arr.min()),
         )
 
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form for JSON experiment artifacts."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.maximum,
+            "min": self.minimum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "Summary":
+        """Inverse of :meth:`to_dict` (artifact round-trip)."""
+        return cls(
+            count=int(data["count"]),
+            mean=float(data["mean"]),
+            p50=float(data["p50"]),
+            p99=float(data["p99"]),
+            maximum=float(data["max"]),
+            minimum=float(data["min"]),
+        )
+
 
 @dataclass
 class LatencyRecorder:

@@ -19,8 +19,8 @@ This module models that design at the message level:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Set
 
 from repro.errors import FabricError
 

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
 from repro.errors import WorkloadError
 from repro.fabrics.base import OfferedMessage
 from repro.sim.rng import make_rng

@@ -1,0 +1,20 @@
+"""Shared test configuration: deterministic hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci`` so property tests are derandomized
+(fixed example generation) and never flake on shrink deadlines; local
+runs keep hypothesis's default randomized exploration.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,7 +1,5 @@
 """Tests for repro.core.clock: time, bandwidth, and scheduling arithmetic."""
 
-import math
-
 import pytest
 
 from repro.core import clock

@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.experiments import (
     Figure8aScale,
     Figure8bScale,

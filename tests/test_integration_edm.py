@@ -5,8 +5,6 @@ notification, /N/ + /G/ for writes, chunked RRES, atomic RMW at the
 memory node, in-order per-pair delivery, and the §3.3 deadlock timer.
 """
 
-import pytest
-
 from repro.core.opcodes import RmwOpcode
 from repro.fabrics.base import ClusterConfig, OfferedMessage
 from repro.fabrics.edm import EdmCluster, EdmFabric

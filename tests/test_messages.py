@@ -6,7 +6,6 @@ from repro.core.messages import (
     CONTROL_PAYLOAD_BYTES,
     RREQ_SIZE_BYTES,
     Grant,
-    MessageType,
     Notification,
     make_rmwreq,
     make_rreq,

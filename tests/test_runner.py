@@ -1,0 +1,188 @@
+"""Tests for the parallel experiment runner, registry, and artifacts."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, FabricError
+from repro.experiments import (
+    ExperimentSpec,
+    Figure8aScale,
+    Runner,
+    artifact_payload,
+    experiment_names,
+    get_experiment,
+    make_cell,
+    register,
+    run_experiment,
+    write_artifact,
+)
+from repro.fabrics import ClusterConfig, fabric_by_name, fabric_names
+
+SMOKE_SCALE = Figure8aScale(
+    num_nodes=6, message_count=400, fabric_names=("EDM", "DCTCP")
+)
+
+
+class TestCell:
+    def test_param_lookup_prefers_extra(self):
+        cell = make_cell(
+            "x", scale={"num_nodes": 8, "shared": 1}, extra={"shared": 2}
+        )
+        assert cell.param("num_nodes") == 8
+        assert cell.param("shared") == 2
+        assert cell.param("missing", 42) == 42
+
+    def test_key_is_stable_and_informative(self):
+        cell = make_cell("figure8a", fabric="EDM", load=0.2, seed=7,
+                         extra={"write_fraction": 0.5})
+        assert cell.key == "fabric=EDM load=0.2 seed=7 write_fraction=0.5"
+
+    def test_cells_are_hashable(self):
+        a = make_cell("x", fabric="EDM", scale={"n": 1})
+        b = make_cell("x", fabric="EDM", scale={"n": 1})
+        assert a == b and len({a, b}) == 1
+
+    def test_to_dict_round_trips_params(self):
+        cell = make_cell("x", fabric="EDM", load=0.5, seed=3,
+                         scale={"n": 4}, extra={"app": "spark"})
+        d = cell.to_dict()
+        assert d["fabric"] == "EDM" and d["load"] == 0.5 and d["seed"] == 3
+        assert d["scale"] == {"n": 4} and d["extra"] == {"app": "spark"}
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        names = experiment_names()
+        for expected in ("table1", "figure5", "figure6", "figure7",
+                         "figure8a", "figure8a_mix", "figure8b", "ablations"):
+            assert expected in names
+
+    def test_round_trip(self):
+        spec = get_experiment("figure8a")
+        assert spec.name == "figure8a"
+        cells = spec.build_cells(loads=(0.3,), scale=SMOKE_SCALE)
+        assert [c.fabric for c in cells] == ["EDM", "DCTCP"]
+        assert all(c.experiment == "figure8a" for c in cells)
+        # The reducer rebuilds the grid shape from the cells alone.
+        fake = [{"read": 1.0}] * len(cells)
+        reduced = spec.reduce(cells, fake)
+        assert reduced == {0.3: {"EDM": {"read": 1.0}, "DCTCP": {"read": 1.0}}}
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ConfigError):
+            get_experiment("nope")
+
+    def test_reregistering_same_name_raises(self):
+        spec = ExperimentSpec(
+            name="figure8a", description="imposter",
+            build_cells=lambda: [], run_cell=lambda c: None,
+            reduce=lambda cells, results: None,
+        )
+        with pytest.raises(ConfigError):
+            register(spec)
+
+    def test_register_is_idempotent_for_same_spec(self):
+        spec = get_experiment("figure8a")
+        assert register(spec) is spec
+
+
+class TestRunner:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            Runner(jobs=0)
+
+    def test_two_cell_figure8a_smoke(self):
+        result = Runner(jobs=1).run("figure8a", loads=(0.3,), scale=SMOKE_SCALE)
+        assert len(result.cells) == 2
+        assert set(result.reduced[0.3]) == {"EDM", "DCTCP"}
+        for point in result.reduced[0.3].values():
+            assert point["incomplete"] == 0
+            assert point["read"] >= 0.9
+        assert set(result.by_key()) == {c.key for c in result.cells}
+
+    def test_parallel_identical_to_serial(self):
+        serial = Runner(jobs=1).run("figure8a", loads=(0.3, 0.6), scale=SMOKE_SCALE)
+        parallel = Runner(jobs=4).run("figure8a", loads=(0.3, 0.6), scale=SMOKE_SCALE)
+        assert serial.cells == parallel.cells
+        assert serial.cell_results == parallel.cell_results
+        assert serial.reduced == parallel.reduced
+        # Bit-identical artifacts modulo timestamps and timing.
+        a = artifact_payload(serial, created_at="T")
+        b = artifact_payload(parallel, created_at="T")
+        for volatile in ("elapsed_s", "jobs"):
+            a.pop(volatile), b.pop(volatile)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_run_experiment_wrapper(self):
+        reduced = run_experiment("figure8a", jobs=2, loads=(0.3,), scale=SMOKE_SCALE)
+        assert 0.3 in reduced
+
+    def test_seed_changes_results(self):
+        base = dict(loads=(0.6,), scale=SMOKE_SCALE)
+        r1 = run_experiment("figure8a", **base)
+        r2 = run_experiment(
+            "figure8a",
+            loads=(0.6,),
+            scale=Figure8aScale(
+                num_nodes=6, message_count=400,
+                fabric_names=("EDM", "DCTCP"), seed=99,
+            ),
+        )
+        assert r1[0.6]["EDM"]["read"] != r2[0.6]["EDM"]["read"]
+
+    def test_seed_threads_into_cluster_config(self):
+        spec = get_experiment("figure8a")
+        scale = Figure8aScale(num_nodes=6, message_count=400, seed=17,
+                              fabric_names=("EDM",))
+        cells = spec.build_cells(loads=(0.3,), scale=scale)
+        assert all(c.seed == 17 for c in cells)
+        config = ClusterConfig(num_nodes=6, seed=17)
+        fabric = fabric_by_name("EDM", config)
+        assert fabric.config.seed == 17
+        # The derived per-fabric stream is reproducible from the seed.
+        assert (fabric.rng.integers(0, 1 << 30)
+                == fabric_by_name("EDM", config).rng.integers(0, 1 << 30))
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(FabricError):
+            ClusterConfig(num_nodes=4, seed=-1)
+
+
+class TestFabricLookup:
+    def test_names_in_legend_order(self):
+        assert fabric_names() == [
+            "EDM", "IRD", "pFabric", "PFC", "DCTCP", "CXL", "Fastpass",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        config = ClusterConfig(num_nodes=4)
+        assert fabric_by_name("edm", config).name == "EDM"
+
+    def test_unknown_fabric_raises(self):
+        with pytest.raises(FabricError):
+            fabric_by_name("infiniband", ClusterConfig(num_nodes=4))
+
+
+class TestArtifacts:
+    def test_artifact_schema_and_round_trip(self, tmp_path):
+        result = Runner(jobs=2).run("figure8a", loads=(0.3,), scale=SMOKE_SCALE)
+        path = write_artifact(result, out_dir=str(tmp_path), config={"nodes": 6})
+        data = json.loads(open(path, encoding="utf-8").read())
+        assert data["schema"] == 1
+        assert data["experiment"] == "figure8a"
+        assert data["jobs"] == 2
+        assert data["config"] == {"nodes": 6}
+        assert set(data["git"]) == {"commit", "branch", "dirty"}
+        assert len(data["cells"]) == 2
+        for record in data["cells"]:
+            assert {"key", "experiment", "seed", "fabric", "load",
+                    "scale", "result"} <= set(record)
+        # Reduced results survive the JSON round trip (float keys stringify).
+        assert data["results"]["0.3"]["EDM"]["incomplete"] == 0.0
+
+    def test_artifact_paths_never_collide(self, tmp_path):
+        result = Runner(jobs=1).run("figure6")
+        first = write_artifact(result, out_dir=str(tmp_path))
+        second = write_artifact(result, out_dir=str(tmp_path))
+        assert first != second
