@@ -1,0 +1,35 @@
+"""Bench kernel — calendar vs heap event kernel on the figure-8a sweep.
+
+Runs the smoke sweep under both kernels (asserting bit-identical
+results), prints the events/sec comparison, and writes the top-level
+``BENCH_kernel.json`` artifact that tracks the perf trajectory.  Scale
+with REPRO_BENCH_NODES / REPRO_BENCH_MESSAGES; parallelize with
+REPRO_BENCH_JOBS.
+"""
+
+from repro.experiments import (
+    format_kernel_bench,
+    run_kernel_bench,
+    write_kernel_bench,
+)
+
+from conftest import BENCH_JOBS, BENCH_MESSAGES, BENCH_NODES
+
+
+def test_kernel_bench(benchmark):
+    def run():
+        return run_kernel_bench(
+            num_nodes=min(BENCH_NODES, 32),
+            message_count=BENCH_MESSAGES,
+            loads=(0.3, 0.8),
+            jobs=BENCH_JOBS,
+        )
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_kernel_bench(payload))
+    write_kernel_bench(payload)
+    assert payload["results_identical"]
+    # The raw kernel must beat the heap clearly once the queue is deep.
+    deepest = payload["kernel_microbench"]["rows"][-1]
+    assert deepest["speedup"] > 1.5

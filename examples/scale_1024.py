@@ -1,0 +1,62 @@
+"""A 1024-node scale point — the sweep size the calendar kernel unlocks.
+
+The paper evaluates a 144-node cluster (§4.3); the ROADMAP pushes toward
+production scale.  This example runs the §4.3.1 microbenchmark on a
+1024-node cluster for a receiver-driven (IRD) and a reactive (DCTCP)
+fabric, printing completion statistics and the simulator's events/sec so
+the throughput at scale is visible.
+
+Run::
+
+    PYTHONPATH=src python examples/scale_1024.py [--nodes 1024]
+    [--messages 20000] [--kernel calendar|heap] [--fabrics IRD,DCTCP]
+"""
+
+import argparse
+import time
+
+from repro.fabrics import ClusterConfig, fabric_by_name
+from repro.sim import process_events_executed
+from repro.workloads.synthetic import microbenchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=1024)
+    parser.add_argument("--messages", type=int, default=20_000)
+    parser.add_argument("--load", type=float, default=0.7)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--kernel", type=str, default="calendar")
+    parser.add_argument("--fabrics", type=str, default="IRD,DCTCP")
+    args = parser.parse_args()
+
+    print(f"generating {args.messages} messages across {args.nodes} nodes ...")
+    messages = microbenchmark(
+        num_nodes=args.nodes,
+        link_gbps=100.0,
+        load=args.load,
+        message_count=args.messages,
+        seed=args.seed,
+    )
+
+    for name in args.fabrics.split(","):
+        config = ClusterConfig(
+            num_nodes=args.nodes, link_gbps=100.0,
+            seed=args.seed, kernel=args.kernel,
+        )
+        fabric = fabric_by_name(name, config)
+        events_before = process_events_executed()
+        start = time.perf_counter()
+        result = fabric.run(messages, deadline_ns=50_000_000.0)
+        wall = time.perf_counter() - start
+        events = process_events_executed() - events_before
+        mean = result.mean_latency_ns()
+        print(
+            f"{name:>9}: {len(result.records)}/{len(messages)} completed, "
+            f"mean latency {mean:8.1f} ns | {events} events in {wall:.2f}s "
+            f"({args.kernel} kernel, {events / wall / 1e3:.0f}k ev/s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli figure8b --nodes 12 --messages 1200 --apps memcached
     python -m repro.cli run figure8a --jobs 4 --out results
     python -m repro.cli run --list
+    python -m repro.cli bench-kernel --nodes 16 --messages 4000
     python -m repro.cli checks
 
 Simulation subcommands fan their parameter grid out over ``--jobs``
@@ -38,6 +39,7 @@ from repro.experiments import (
 )
 from repro.latency.breakdown import format_breakdown, read_breakdown, write_breakdown
 from repro.latency.table1 import format_table1
+from repro.sim.engine import DEFAULT_KERNEL, KERNELS
 
 
 def _cmd_table1(_: argparse.Namespace) -> None:
@@ -101,6 +103,7 @@ def _figure8a_options(args: argparse.Namespace) -> Dict[str, Any]:
         message_count=args.messages,
         seed=args.seed,
         fabric_names=_parse_fabrics(args.fabrics),
+        kernel=args.kernel,
     )
     return {"loads": _parse_loads(args.loads), "scale": scale}
 
@@ -111,6 +114,7 @@ def _figure8b_options(args: argparse.Namespace) -> Dict[str, Any]:
         message_count=args.messages,
         seed=args.seed,
         fabric_names=_parse_fabrics(args.fabrics),
+        kernel=args.kernel,
     )
     return {"apps": args.apps.split(",") if args.apps else None, "scale": scale}
 
@@ -135,6 +139,7 @@ _RUN_FLAG_DEFAULTS = {
     "apps": "",
     "fabrics": "",
     "families": "",
+    "kernel": DEFAULT_KERNEL,
 }
 
 
@@ -153,10 +158,47 @@ def _warn_ignored_flags(
         )
 
 
+def _grid_summary(name: str) -> str:
+    """Cell count and grid shape of an experiment's *default* grid."""
+    try:
+        cells = list(get_experiment(name).build_cells())
+    except ReproError:  # pragma: no cover - defensive
+        return "?"
+    dims = []
+    loads = {c.load for c in cells if c.load is not None}
+    if len(loads) > 1:
+        dims.append(f"{len(loads)} loads")
+    fabrics = {c.fabric for c in cells if c.fabric is not None}
+    if len(fabrics) > 1:
+        dims.append(f"{len(fabrics)} fabrics")
+    extras: Dict[str, set] = {}
+    for cell in cells:
+        for key, value in cell.extra:
+            extras.setdefault(key, set()).add(value)
+    # Of the experiment-specific parameters, name only the headline axes
+    # (app/workload/family/mix); the rest collapse into the cell count.
+    for key, label in (
+        ("app", "apps"), ("workload", "workloads"),
+        ("family", "families"), ("write_parts", "mixes"),
+        ("local", "splits"),
+    ):
+        values = extras.get(key, ())
+        if len(values) > 1:
+            dims.append(f"{len(values)} {label}")
+    scale = dict(cells[0].scale)
+    if "num_nodes" in scale:
+        dims.append(f"{scale['num_nodes']} nodes")
+    shape = ", ".join(dims)
+    return f"{len(cells):>3} cells" + (f" ({shape})" if shape else "")
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     if args.list or args.experiment is None:
         for name in experiment_names():
-            print(f"  {name:<14} {get_experiment(name).description}")
+            print(
+                f"  {name:<14} {_grid_summary(name):<42} "
+                f"{get_experiment(name).description}"
+            )
         if args.experiment is None and not args.list:
             print("\n(pick one: repro.cli run <experiment>)", file=sys.stderr)
             sys.exit(2)
@@ -184,6 +226,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             # Canonical ablation seed is 3 (what the benchmarks use).
             "seed": 3 if args.seed is None else args.seed,
             "message_count": args.messages or None,
+            "kernel": args.kernel,
         }
         if args.families:
             options["families"] = tuple(args.families.split(","))
@@ -191,7 +234,10 @@ def _cmd_run(args: argparse.Namespace) -> None:
         # Analytic experiments take no scale options.
         _warn_ignored_flags(
             name, args,
-            ("nodes", "messages", "seed", "loads", "apps", "fabrics", "families"),
+            (
+                "nodes", "messages", "seed", "loads", "apps", "fabrics",
+                "families", "kernel",
+            ),
         )
         options = {}
     result = _run_and_persist(name, args, options)
@@ -203,6 +249,27 @@ def _cmd_run(args: argparse.Namespace) -> None:
     else:
         print(f"{name} ({result.jobs} jobs):")
         print(reduced)
+
+
+def _cmd_bench_kernel(args: argparse.Namespace) -> None:
+    from repro.experiments.kernelbench import (
+        format_kernel_bench,
+        run_kernel_bench,
+        write_kernel_bench,
+    )
+
+    payload = run_kernel_bench(
+        num_nodes=args.nodes,
+        message_count=args.messages,
+        loads=_parse_loads(args.loads),
+        seed=args.seed,
+        jobs=args.jobs,
+        fabric_names=_parse_fabrics(args.fabrics),
+    )
+    print(format_kernel_bench(payload))
+    if args.out:
+        path = write_kernel_bench(payload, args.out)
+        print(f"[artifact] {path}", file=sys.stderr)
 
 
 def _cmd_checks(_: argparse.Namespace) -> None:
@@ -245,6 +312,10 @@ def _add_scale_args(
     parser.add_argument(
         "--fabrics", type=str, default="",
         help="comma-separated fabric names (default: all seven)",
+    )
+    parser.add_argument(
+        "--kernel", type=str, default=DEFAULT_KERNEL, choices=KERNELS,
+        help="event-queue kernel (results are bit-identical across kernels)",
     )
 
 
@@ -295,6 +366,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_args(run)
     run.set_defaults(fn=_cmd_run)
+
+    bench = sub.add_parser(
+        "bench-kernel",
+        help="figure-8a smoke sweep under both kernels -> BENCH_kernel.json",
+    )
+    bench.add_argument("--nodes", type=int, default=16)
+    bench.add_argument("--messages", type=int, default=4000)
+    bench.add_argument("--loads", type=str, default="0.3,0.8")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--jobs", type=int, default=1)
+    bench.add_argument(
+        "--fabrics", type=str, default="",
+        help="comma-separated fabric names (default: all seven)",
+    )
+    bench.add_argument(
+        "--out", type=str, default="BENCH_kernel.json",
+        help="output JSON path (empty = print only)",
+    )
+    bench.set_defaults(fn=_cmd_bench_kernel)
 
     sub.add_parser("checks", help="Headline shape checks").set_defaults(fn=_cmd_checks)
     return parser

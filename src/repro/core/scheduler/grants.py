@@ -119,16 +119,37 @@ class CentralScheduler:
     def dst_free_at(self, dst: int) -> float:
         return self._dst_busy_until.get(dst, 0.0)
 
+    @staticmethod
+    def _busy_ports(table: Dict[int, float], now: float) -> Set[int]:
+        """Ports with a live busy window; expired entries are pruned.
+
+        Rounds query with monotonically increasing ``now``, so an entry at
+        or before ``now`` can never become busy again without a fresh
+        grant re-adding it — dropping it keeps these per-round scans
+        proportional to the *currently* busy ports, not every port that
+        was ever granted.
+        """
+        busy = {port for port, t in table.items() if t > now}
+        if len(busy) != len(table):
+            stale = [port for port, t in table.items() if t <= now]
+            for port in stale:
+                del table[port]
+        return busy
+
     def busy_sets(self, now: float) -> "tuple[Set[int], Set[int]]":
-        busy_src = {s for s, t in self._src_busy_until.items() if t > now}
-        busy_dst = {d for d, t in self._dst_busy_until.items() if t > now}
-        return busy_src, busy_dst
+        return (
+            self._busy_ports(self._src_busy_until, now),
+            self._busy_ports(self._dst_busy_until, now),
+        )
 
     def next_release_after(self, now: float) -> Optional[float]:
         """Earliest future time a busy port frees up (for re-scheduling)."""
-        times = [t for t in self._src_busy_until.values() if t > now]
-        times += [t for t in self._dst_busy_until.values() if t > now]
-        return min(times) if times else None
+        best: Optional[float] = None
+        for table in (self._src_busy_until, self._dst_busy_until):
+            for t in table.values():
+                if t > now and (best is None or t < best):
+                    best = t
+        return best
 
     # ------------------------------------------------------------------ #
     # Matching + grant issue                                             #

@@ -97,9 +97,17 @@ class NotificationQueueBank:
             OrderedList(capacity=capacity, meter=self.meter) for _ in range(num_ports)
         ]
         self._pair_counts: Dict[Tuple[int, int, bool], int] = {}
+        # Cached totals: the matcher polls these every round, and summing
+        # N per-port queues per poll is O(N^2) per simulated chunk-time.
+        self._total = 0
+        self._nonempty: set = set()
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self._queues)
+        return self._total
+
+    def nonempty_destinations(self) -> List[int]:
+        """Destination ports with pending demands, in ascending order."""
+        return sorted(self._nonempty)
 
     def queue_for(self, dst: int) -> OrderedList[Demand]:
         self._check_port(dst)
@@ -124,10 +132,15 @@ class NotificationQueueBank:
         priority = priority_of(self.policy, demand)
         self._queues[demand.dst].insert(priority, demand)
         self._pair_counts[demand.pair] = self.pair_count(*demand.pair) + 1
+        self._total += 1
+        self._nonempty.add(demand.dst)
 
     def remove(self, demand: Demand) -> None:
         """Remove a fully-granted demand (remaining bytes hit zero)."""
         self._queues[demand.dst].remove(demand)
+        self._total -= 1
+        if not self._queues[demand.dst]:
+            self._nonempty.discard(demand.dst)
         count = self.pair_count(*demand.pair)
         if count <= 1:
             self._pair_counts.pop(demand.pair, None)

@@ -123,7 +123,11 @@ class PimMatcher:
     ) -> Dict[int, List[Demand]]:
         """Cycle 1: each free destination proposes to one source."""
         proposals: Dict[int, List[Demand]] = {}
-        for dst in range(self.bank.num_ports):
+        # Only destinations with pending demands can propose; iterating
+        # them in ascending port order matches a scan over all N ports
+        # (empty queues never proposed) without the O(N) sweep per
+        # iteration, which dominates at large port counts.
+        for dst in self.bank.nonempty_destinations():
             if dst in busy_dst:
                 continue
             demand = self.bank.best_eligible(dst, lambda s: s not in busy_src)

@@ -31,6 +31,12 @@ from repro.experiments.figures import (
     summarize_shape_checks,
 )
 from repro.experiments.ablations import FAMILIES, run_ablations
+from repro.experiments.kernelbench import (
+    format_kernel_bench,
+    kernel_microbench,
+    run_kernel_bench,
+    write_kernel_bench,
+)
 
 __all__ = [
     "FAMILIES",
@@ -43,6 +49,10 @@ __all__ = [
     "artifact_payload",
     "experiment_names",
     "format_grid",
+    "format_kernel_bench",
+    "kernel_microbench",
+    "run_kernel_bench",
+    "write_kernel_bench",
     "get_experiment",
     "make_cell",
     "register",

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.scheduler import Policy
 from repro.errors import ConfigError
+from repro.sim.engine import DEFAULT_KERNEL
 from repro.experiments.runner import Cell, ExperimentSpec, Runner, make_cell, register
 from repro.fabrics.base import ClusterConfig
 from repro.fabrics.edm import EdmFabric
@@ -107,6 +108,7 @@ def build_ablation_cells(
     link_gbps: float = 100.0,
     seed: int = 3,
     message_count: Optional[int] = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> List[Cell]:
     """Cells for the requested families (default: all seven)."""
     cells: List[Cell] = []
@@ -128,6 +130,7 @@ def build_ablation_cells(
                         "link_gbps": link_gbps,
                         "message_count": count,
                         "deadline_ns": 5_000_000_000.0,
+                        "kernel": kernel,
                     },
                     extra={
                         "family": family,
@@ -165,6 +168,7 @@ def run_ablation_cell(cell: Cell) -> float:
         chunk_bytes=cell.param("chunk_bytes", 256),
         max_active_per_pair=cell.param("max_active_per_pair", 3),
         seed=cell.seed,
+        kernel=cell.param("kernel", DEFAULT_KERNEL),
     )
     fabric = EdmFabric(
         config,

@@ -26,6 +26,7 @@ from repro.fabrics import ClusterConfig, fabric_by_name, fabric_names
 from repro.fabrics.base import Fabric, OfferedMessage
 from repro.latency.breakdown import read_breakdown, total_ns, write_breakdown
 from repro.latency.table1 import compute_table1, latency_ratios
+from repro.sim.engine import DEFAULT_KERNEL
 from repro.experiments.runner import (
     Cell,
     ExperimentSpec,
@@ -190,7 +191,12 @@ def run_figure7(link_gbps: float = 100.0, jobs: int = 1) -> List[Dict[str, objec
 
 @dataclass(frozen=True)
 class Figure8aScale:
-    """Simulation scale for Figure 8a (paper: 144 nodes, 100 Gbps)."""
+    """Simulation scale for Figure 8a (paper: 144 nodes, 100 Gbps).
+
+    ``kernel`` picks the event-queue implementation for every simulator
+    in the sweep (``"calendar"`` or the ``"heap"`` fallback); results
+    are bit-identical either way.
+    """
 
     num_nodes: int = 144
     link_gbps: float = 100.0
@@ -198,6 +204,7 @@ class Figure8aScale:
     seed: int = 1
     deadline_ns: float = 2_000_000_000.0
     fabric_names: Optional[Sequence[str]] = None  # None = all seven
+    kernel: str = DEFAULT_KERNEL
 
 
 def _selected_fabric_names(names: Optional[Sequence[str]]) -> List[str]:
@@ -222,6 +229,7 @@ def _scale_params(scale) -> Dict[str, object]:
         "link_gbps": scale.link_gbps,
         "message_count": scale.message_count,
         "deadline_ns": scale.deadline_ns,
+        "kernel": getattr(scale, "kernel", DEFAULT_KERNEL),
     }
 
 
@@ -230,6 +238,7 @@ def _cluster_config(cell: Cell) -> ClusterConfig:
         num_nodes=cell.param("num_nodes"),
         link_gbps=cell.param("link_gbps"),
         seed=cell.seed,
+        kernel=cell.param("kernel", DEFAULT_KERNEL),
     )
 
 
@@ -417,6 +426,7 @@ class Figure8bScale:
     seed: int = 1
     deadline_ns: float = 5_000_000_000.0
     fabric_names: Optional[Sequence[str]] = None
+    kernel: str = DEFAULT_KERNEL
 
 
 def _figure8b_cells(

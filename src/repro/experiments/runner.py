@@ -21,7 +21,7 @@ import json
 import os
 import subprocess
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from multiprocessing import get_context
 from typing import (
@@ -37,6 +37,7 @@ from typing import (
 )
 
 from repro.errors import ConfigError
+from repro.sim.engine import process_events_executed
 
 #: Frozen, hashable form of a parameter mapping (sorted key/value pairs).
 Params = Tuple[Tuple[str, Any], ...]
@@ -176,15 +177,44 @@ def experiment_names() -> List[str]:
 # --------------------------------------------------------------------------- #
 
 
-def _run_indexed_cell(payload: Tuple[str, int, Cell]) -> Tuple[int, Any]:
+def _timed_cell(spec: ExperimentSpec, cell: Cell) -> Tuple[Any, Dict[str, float]]:
+    """Run one cell, measuring wall-clock and simulator events executed.
+
+    Events are read from the process-wide engine counter, so the number
+    covers every Simulator the cell spun up (runs plus unloaded probes)
+    without threading a handle through the fabric models.  Analytic cells
+    that never touch the simulator report zero events.
+    """
+    events_before = process_events_executed()
+    start = time.perf_counter()
+    value = spec.run_cell(cell)
+    wall_s = time.perf_counter() - start
+    events = process_events_executed() - events_before
+    perf = {
+        "wall_s": round(wall_s, 6),
+        "events": events,
+        "events_per_s": round(events / wall_s) if wall_s > 0 else 0,
+    }
+    return value, perf
+
+
+def _run_indexed_cell(
+    payload: Tuple[str, int, Cell]
+) -> Tuple[int, Any, Dict[str, float]]:
     """Worker entry point: resolve the spec by name and run one cell."""
     name, index, cell = payload
-    return index, get_experiment(name).run_cell(cell)
+    value, perf = _timed_cell(get_experiment(name), cell)
+    return index, value, perf
 
 
 @dataclass
 class RunnerResult:
-    """Outcome of one experiment run: per-cell results plus the reduction."""
+    """Outcome of one experiment run: per-cell results plus the reduction.
+
+    ``cell_perf`` holds one ``{wall_s, events, events_per_s}`` record per
+    cell (simulator events executed while the cell ran), so artifacts
+    track the evaluation's throughput trajectory commit over commit.
+    """
 
     experiment: str
     jobs: int
@@ -192,9 +222,21 @@ class RunnerResult:
     cell_results: List[Any]
     reduced: Any
     elapsed_s: float
+    cell_perf: List[Dict[str, float]] = field(default_factory=list)
 
     def by_key(self) -> Dict[str, Any]:
         return {c.key: r for c, r in zip(self.cells, self.cell_results)}
+
+    def perf_summary(self) -> Dict[str, float]:
+        """Aggregate events/wall over the cells (wall sums worker time)."""
+        events = sum(p["events"] for p in self.cell_perf)
+        wall = sum(p["wall_s"] for p in self.cell_perf)
+        return {
+            "events": events,
+            "cell_wall_s": round(wall, 6),
+            "events_per_s": round(events / wall) if wall > 0 else 0,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
 
 
 class Runner:
@@ -222,7 +264,7 @@ class Runner:
         if not cells:
             raise ConfigError(f"experiment {spec.name!r} built an empty grid")
         start = time.perf_counter()
-        results = self._map(spec, cells)
+        results, perf = self._map(spec, cells)
         reduced = spec.reduce(cells, results)
         elapsed = time.perf_counter() - start
         return RunnerResult(
@@ -232,11 +274,20 @@ class Runner:
             cell_results=results,
             reduced=reduced,
             elapsed_s=elapsed,
+            cell_perf=perf,
         )
 
-    def _map(self, spec: ExperimentSpec, cells: List[Cell]) -> List[Any]:
+    def _map(
+        self, spec: ExperimentSpec, cells: List[Cell]
+    ) -> Tuple[List[Any], List[Dict[str, float]]]:
         if self.jobs == 1 or len(cells) == 1:
-            return [spec.run_cell(cell) for cell in cells]
+            results = []
+            perf = []
+            for cell in cells:
+                value, cell_perf = _timed_cell(spec, cell)
+                results.append(value)
+                perf.append(cell_perf)
+            return results, perf
         # Workers resolve the spec by name, so an unregistered (or
         # name-shadowed) spec would run the wrong run_cell over there.
         if _REGISTRY.get(spec.name) is not spec:
@@ -246,11 +297,15 @@ class Runner:
             )
         payloads = [(spec.name, i, cell) for i, cell in enumerate(cells)]
         results: List[Any] = [None] * len(cells)
+        perf: List[Dict[str, float]] = [{}] * len(cells)
         ctx = get_context(self._mp_context)
         with ctx.Pool(processes=min(self.jobs, len(cells))) as pool:
-            for index, value in pool.imap_unordered(_run_indexed_cell, payloads):
+            for index, value, cell_perf in pool.imap_unordered(
+                _run_indexed_cell, payloads
+            ):
                 results[index] = value
-        return results
+                perf[index] = cell_perf
+        return results, perf
 
 
 def run_experiment(name: str, *, jobs: int = 1, **options: Any) -> Any:
@@ -318,11 +373,21 @@ def artifact_payload(
         or datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "jobs": result.jobs,
         "elapsed_s": round(result.elapsed_s, 3),
+        "perf": result.perf_summary(),
         "git": git_metadata(),
         "config": dict(config or {}),
         "cells": [
-            {"key": cell.key, **cell.to_dict(), "result": value}
-            for cell, value in zip(result.cells, result.cell_results)
+            {
+                "key": cell.key,
+                **cell.to_dict(),
+                "result": value,
+                **({"perf": perf} if perf else {}),
+            }
+            for cell, value, perf in zip(
+                result.cells,
+                result.cell_results,
+                result.cell_perf or [{}] * len(result.cells),
+            )
         ],
         "results": result.reduced,
     }

@@ -14,13 +14,20 @@ from __future__ import annotations
 import abc
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import FabricError
+from repro.sim.context import SimContext, StatsSink
+from repro.sim.engine import DEFAULT_KERNEL, KERNELS, Simulator
 from repro.sim.rng import make_rng
 
+# Fallback uid stream for ad-hoc OfferedMessage construction (tests,
+# probes).  Workload generators assign explicit 0-based uids instead, so
+# a workload's uids — and everything derived from them, e.g. EDM's
+# address mapping — are identical no matter how many runs preceded it in
+# the process (the runner executes many cells per worker).
 _uid_counter = itertools.count()
 
 
@@ -69,47 +76,80 @@ class FabricResult:
     unloaded_read_ns: Optional[float] = None
     unloaded_write_ns: Optional[float] = None
     incomplete: int = 0
+    stats: Optional[Dict[str, object]] = None
+    _cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached (latency_ns, is_read) columns over the completion records.
+
+        The per-message normalization math runs vectorized over these
+        instead of looping Python records; the cache is invalidated by
+        length, which is enough because records are append-only.
+        """
+        if self._cache is None or self._cache[0] != len(self.records):
+            latencies = np.fromiter(
+                (r.completed_at - r.message.arrival_ns for r in self.records),
+                dtype=np.float64,
+                count=len(self.records),
+            )
+            reads = np.fromiter(
+                (r.message.is_read for r in self.records),
+                dtype=np.bool_,
+                count=len(self.records),
+            )
+            self._cache = (len(self.records), latencies, reads)
+        return self._cache[1], self._cache[2]
+
+    def _select(self, is_read: Optional[bool]) -> np.ndarray:
+        latencies, reads = self._arrays()
+        if is_read is None:
+            return latencies
+        return latencies[reads] if is_read else latencies[~reads]
 
     def latencies(self, is_read: Optional[bool] = None) -> List[float]:
-        return [
-            r.latency_ns
-            for r in self.records
-            if is_read is None or r.message.is_read == is_read
-        ]
+        return self._select(is_read).tolist()
 
     def mean_latency_ns(self, is_read: Optional[bool] = None) -> float:
-        data = self.latencies(is_read)
-        if not data:
+        data = self._select(is_read)
+        if data.size == 0:
             raise FabricError(f"no completions recorded for {self.fabric}")
-        return float(np.mean(data))
+        return float(data.mean())
+
+    def _normalized(self, is_read: Optional[bool]) -> np.ndarray:
+        """Latency / unloaded latency of the same message kind (Fig. 8a)."""
+        latencies, reads = self._arrays()
+        if is_read is not None:
+            mask = reads if is_read else ~reads
+            latencies = latencies[mask]
+            reads = reads[mask]
+        read_base, write_base = self.unloaded_read_ns, self.unloaded_write_ns
+        if bool(reads.any()) and not (read_base and read_base > 0):
+            raise FabricError(f"{self.fabric} result lacks an unloaded baseline")
+        if not bool(reads.all()) and not (write_base and write_base > 0):
+            raise FabricError(f"{self.fabric} result lacks an unloaded baseline")
+        baselines = np.where(reads, read_base or 1.0, write_base or 1.0)
+        return latencies / baselines
 
     def normalized_latencies(self, is_read: Optional[bool] = None) -> List[float]:
-        """Latency / unloaded latency of the same message kind (Fig. 8a)."""
-        out: List[float] = []
-        for record in self.records:
-            if is_read is not None and record.message.is_read != is_read:
-                continue
-            base = (
-                self.unloaded_read_ns
-                if record.message.is_read
-                else self.unloaded_write_ns
-            )
-            if base is None or base <= 0:
-                raise FabricError(
-                    f"{self.fabric} result lacks an unloaded baseline"
-                )
-            out.append(record.latency_ns / base)
-        return out
+        return self._normalized(is_read).tolist()
 
     def mean_normalized_latency(self, is_read: Optional[bool] = None) -> float:
-        data = self.normalized_latencies(is_read)
-        if not data:
+        data = self._normalized(is_read)
+        if data.size == 0:
             raise FabricError(f"no completions recorded for {self.fabric}")
-        return float(np.mean(data))
+        return float(data.mean())
 
     def normalized_mct(self, ideal_fn) -> List[float]:
         """MCT / ideal MCT per message (Fig. 8b); ``ideal_fn(message)->ns``."""
-        return [r.latency_ns / ideal_fn(r.message) for r in self.records]
+        latencies, _ = self._arrays()
+        ideals = np.fromiter(
+            (ideal_fn(r.message) for r in self.records),
+            dtype=np.float64,
+            count=len(self.records),
+        )
+        return (latencies / ideals).tolist()
 
     def mean_normalized_mct(self, ideal_fn) -> float:
         data = self.normalized_mct(ideal_fn)
@@ -120,7 +160,12 @@ class FabricResult:
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Shared cluster parameters (§4.3: 144 nodes, 100 Gbps, single switch)."""
+    """Shared cluster parameters (§4.3: 144 nodes, 100 Gbps, single switch).
+
+    ``kernel`` selects the event-queue implementation for every simulator
+    the fabric builds: ``"calendar"`` (the fast default) or ``"heap"``
+    (the reference fallback).  Both replay identical event orders.
+    """
 
     num_nodes: int = 144
     link_gbps: float = 100.0
@@ -128,6 +173,7 @@ class ClusterConfig:
     chunk_bytes: int = 256
     max_active_per_pair: int = 3
     seed: int = 0
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -136,6 +182,10 @@ class ClusterConfig:
             raise FabricError(f"link rate must be positive: {self.link_gbps}")
         if self.seed < 0:
             raise FabricError(f"seed must be non-negative: {self.seed}")
+        if self.kernel not in KERNELS:
+            raise FabricError(
+                f"unknown kernel {self.kernel!r} (choose from {', '.join(KERNELS)})"
+            )
 
 
 class Fabric(abc.ABC):
@@ -149,6 +199,18 @@ class Fabric(abc.ABC):
         # cell builds its own config, so cells stay independently
         # reproducible even when fabric models draw random numbers.
         self.rng = make_rng(config.seed)
+
+    def new_context(self) -> SimContext:
+        """A fresh clock + stats sink for one run, sharing the fabric RNG.
+
+        Each ``run()`` builds its own context so back-to-back runs (e.g.
+        the unloaded-baseline probes) never see each other's clock.
+        """
+        return SimContext(
+            sim=Simulator(kernel=self.config.kernel),
+            rng=self.rng,
+            stats=StatsSink(),
+        )
 
     @abc.abstractmethod
     def run(
@@ -164,7 +226,8 @@ class Fabric(abc.ABC):
     def measure_unloaded(self, size_bytes: int, is_read: bool) -> float:
         """Latency of a single message of this kind in an empty network."""
         probe = OfferedMessage(
-            src=0, dst=1, size_bytes=size_bytes, arrival_ns=0.0, is_read=is_read
+            src=0, dst=1, size_bytes=size_bytes, arrival_ns=0.0,
+            is_read=is_read, uid=0,
         )
         result = self.run([probe])
         if not result.records:

@@ -24,12 +24,18 @@ from repro.fabrics.base import (
 from repro.host.nic import Completion, CompletionRouter, EdmHostNic, HostConfig
 from repro.memctrl.controller import MemoryController
 from repro.memctrl.dram import DramTiming
+from repro.sim.context import SimContext
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 
 
 class EdmCluster:
-    """A wired EDM cluster: N NICs, one switch, duplex links."""
+    """A wired EDM cluster: N NICs, one switch, duplex links.
+
+    All components share one :class:`SimContext` (clock + RNG + stats);
+    pass ``context`` to join a cluster to an existing simulation, else a
+    fresh one is created with the config's kernel.
+    """
 
     def __init__(
         self,
@@ -39,11 +45,15 @@ class EdmCluster:
         memory_bytes: int = 1 << 20,
         max_iterations: Optional[int] = None,
         early_release: bool = True,
+        context: Optional[SimContext] = None,
     ) -> None:
         from repro.switchfab.switch import EdmSwitch  # local: avoid cycle
 
         self.config = config
-        self.sim = Simulator()
+        self.ctx = context if context is not None else SimContext(
+            sim=Simulator(kernel=config.kernel)
+        )
+        self.sim = self.ctx.sim
         self.router = CompletionRouter()
         scheduler_config = SchedulerConfig(
             num_ports=max(2, config.num_nodes),
@@ -54,7 +64,7 @@ class EdmCluster:
             max_iterations=max_iterations,
             early_release=early_release,
         )
-        self.switch = EdmSwitch(self.sim, scheduler_config)
+        self.switch = EdmSwitch(self.ctx, scheduler_config)
         host_config = HostConfig(
             chunk_bytes=config.chunk_bytes,
             max_active_per_pair=config.max_active_per_pair,
@@ -62,14 +72,14 @@ class EdmCluster:
         timing = dram_timing if dram_timing is not None else DramTiming()
         self.nics: Dict[int, EdmHostNic] = {}
         for node in range(config.num_nodes):
-            nic = EdmHostNic(self.sim, node, self.router, host_config)
+            nic = EdmHostNic(self.ctx, node, self.router, host_config)
             nic.attach_memory(MemoryController(memory_bytes, timing))
             uplink = Link(
-                self.sim, config.link_gbps, config.propagation_ns,
+                self.ctx, config.link_gbps, config.propagation_ns,
                 receiver=self.switch.on_ingress, name=f"up{node}",
             )
             downlink = Link(
-                self.sim, config.link_gbps, config.propagation_ns,
+                self.ctx, config.link_gbps, config.propagation_ns,
                 receiver=nic.on_wire, name=f"down{node}",
             )
             nic.attach_uplink(uplink)
@@ -115,12 +125,14 @@ class EdmFabric(Fabric):
         *,
         deadline_ns: Optional[float] = None,
     ) -> FabricResult:
+        ctx = self.new_context()
         cluster = EdmCluster(
             self.config,
             policy=self.policy,
             dram_timing=self._dram_timing(),
             max_iterations=self.max_iterations,
             early_release=self.early_release,
+            context=ctx,
         )
         result = FabricResult(fabric=self.name)
 
@@ -140,10 +152,18 @@ class EdmFabric(Fabric):
             else:
                 nic.write(message.dst, address, message.size_bytes, on_complete)
 
-        for message in sorted(messages, key=lambda m: m.arrival_ns):
-            cluster.sim.schedule_at(message.arrival_ns, lambda m=message: launch(m))
-        cluster.sim.run(until=deadline_ns)
+        ctx.sim.schedule_batch(
+            (
+                (m.arrival_ns, lambda m=m: launch(m))
+                for m in sorted(messages, key=lambda m: m.arrival_ns)
+            ),
+            absolute=True,
+        )
+        ctx.sim.run(until=deadline_ns)
         result.incomplete = len(messages) - len(result.records)
+        ctx.stats.incr("messages_offered", len(messages))
+        ctx.stats.incr("sim_events", ctx.sim.events_processed)
+        result.stats = ctx.stats.to_dict()
         return result
 
     def run_with_baselines(

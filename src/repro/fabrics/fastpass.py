@@ -27,7 +27,6 @@ from repro.fabrics.base import (
     dominant_sizes,
 )
 from repro.mac.frame import frame_wire_bytes
-from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.switchfab.l2switch import PIPELINE_NS
 
@@ -56,7 +55,8 @@ class FastpassFabric(Fabric):
         *,
         deadline_ns: Optional[float] = None,
     ) -> FabricResult:
-        sim = Simulator()
+        ctx = self.new_context()
+        sim = ctx.sim
         result = FabricResult(fabric=self.name)
         prop = self.config.propagation_ns
         bandwidth = self.config.link_gbps
@@ -78,7 +78,7 @@ class FastpassFabric(Fabric):
             # Reads pay the extra request hop to the memory node first.
             request_extra = (2 * prop + PIPELINE_NS) if message.is_read else 0.0
             complete_at = start + request_extra + duration + 2 * prop + PIPELINE_NS
-            sim.schedule_at(
+            sim.post_at(
                 complete_at,
                 lambda: result.records.append(
                     CompletionRecord(message=message, completed_at=sim.now)
@@ -107,9 +107,9 @@ class FastpassFabric(Fabric):
                 launch(backlog[node].pop(0))
 
         notifications_link = Link(
-            sim, SERVER_GBPS, prop, receiver=on_notification, name="fp-in"
+            ctx, SERVER_GBPS, prop, receiver=on_notification, name="fp-in"
         )
-        grants_link = Link(sim, SERVER_GBPS, prop, receiver=on_grant, name="fp-out")
+        grants_link = Link(ctx, SERVER_GBPS, prop, receiver=on_grant, name="fp-out")
 
         def launch(message: OfferedMessage) -> None:
             node = message.src
@@ -119,10 +119,18 @@ class FastpassFabric(Fabric):
             outstanding[node] += 1
             notifications_link.send(message, CONTROL_WIRE_BYTES)
 
-        for message in sorted(messages, key=lambda m: m.arrival_ns):
-            sim.schedule_at(message.arrival_ns, lambda m=message: launch(m))
+        sim.schedule_batch(
+            (
+                (m.arrival_ns, lambda m=m: launch(m))
+                for m in sorted(messages, key=lambda m: m.arrival_ns)
+            ),
+            absolute=True,
+        )
         sim.run(until=deadline_ns)
         result.incomplete = len(messages) - len(result.records)
+        ctx.stats.incr("messages_offered", len(messages))
+        ctx.stats.incr("sim_events", sim.events_processed)
+        result.stats = ctx.stats.to_dict()
         return result
 
     def run_with_baselines(

@@ -28,7 +28,6 @@ from repro.fabrics.base import (
     dominant_sizes,
 )
 from repro.mac.frame import MTU_PAYLOAD_BYTES, frame_wire_bytes
-from repro.sim.engine import Simulator
 from repro.switchfab.l2switch import PIPELINE_NS
 
 
@@ -66,7 +65,8 @@ class IrdFabric(Fabric):
         *,
         deadline_ns: Optional[float] = None,
     ) -> FabricResult:
-        sim = Simulator()
+        ctx = self.new_context()
+        sim = ctx.sim
         result = FabricResult(fabric=self.name)
         receivers: Dict[int, _Receiver] = {
             n: _Receiver(node=n) for n in range(self.config.num_nodes)
@@ -100,7 +100,7 @@ class IrdFabric(Fabric):
             flow = min(grantable, key=lambda f: f.remaining)
             chunk = min(self.CHUNK_BYTES, flow.remaining)
             flow.remaining -= chunk
-            sim.schedule_at(
+            sim.post_at(
                 sim.now + half_rtt, lambda: sender_side(recv, flow, chunk)
             )
             arm(recv, tx_ns(chunk))
@@ -109,7 +109,7 @@ class IrdFabric(Fabric):
             if recv.pacing:
                 return
             recv.pacing = True
-            sim.schedule_at(sim.now + delay, lambda: pace(recv))
+            sim.post_at(sim.now + delay, lambda: pace(recv))
 
         # Grants colliding at a busy sender queue there (Homa-style) and are
         # served in arrival order when the sender frees up.  The conflict
@@ -139,8 +139,8 @@ class IrdFabric(Fabric):
             duration = tx_ns(chunk)
             sender_busy_until[sender] = sim.now + duration
             arrive_at = sim.now + duration + half_rtt
-            sim.schedule_at(arrive_at, lambda: chunk_arrived(recv, flow, chunk))
-            sim.schedule_at(sim.now + duration, lambda: serve_sender(sender))
+            sim.post_at(arrive_at, lambda: chunk_arrived(recv, flow, chunk))
+            sim.post_at(sim.now + duration, lambda: serve_sender(sender))
 
         def chunk_arrived(recv: _Receiver, flow: _Flow, chunk: int) -> None:
             flow.delivered += chunk
@@ -170,10 +170,18 @@ class IrdFabric(Fabric):
             recv.pending.append(flow)
             arm(recv, 0.0)
 
-        for message in sorted(messages, key=lambda m: m.arrival_ns):
-            sim.schedule_at(message.arrival_ns, lambda m=message: launch(m))
+        sim.schedule_batch(
+            (
+                (m.arrival_ns, lambda m=m: launch(m))
+                for m in sorted(messages, key=lambda m: m.arrival_ns)
+            ),
+            absolute=True,
+        )
         sim.run(until=deadline_ns)
         result.incomplete = len(messages) - len(result.records)
+        ctx.stats.incr("messages_offered", len(messages))
+        ctx.stats.incr("sim_events", sim.events_processed)
+        result.stats = ctx.stats.to_dict()
         return result
 
     def run_with_baselines(

@@ -151,7 +151,7 @@ class BaselineHost(Process):
             return
         delay = max(0.0, self._next_send_at - self.now)
         self._pump_armed = True
-        self.schedule(delay, self._send_head)
+        self.post(delay, self._send_head)
 
     def _send_head(self) -> None:
         self._pump_armed = False
@@ -185,7 +185,7 @@ class BaselineHost(Process):
             self._acks_marked += 1
         if not self._window_armed:
             self._window_armed = True
-            self.schedule(self.policy.window_ns, self._close_window)
+            self.post(self.policy.window_ns, self._close_window)
 
     def _close_window(self) -> None:
         self._window_armed = False
@@ -207,7 +207,7 @@ class BaselineHost(Process):
         self._acks_marked = 0
         if self._queue or self.rate_factor < 1.0:
             self._window_armed = True
-            self.schedule(self.policy.window_ns, self._close_window)
+            self.post(self.policy.window_ns, self._close_window)
 
 
 @dataclass
@@ -250,7 +250,7 @@ class BaselineSwitch(Process):
     # -- ingress --------------------------------------------------------- #
 
     def on_ingress(self, frame: Frame) -> None:
-        self.schedule(self.pipeline_ns, lambda: self._after_pipeline(frame))
+        self.post(self.pipeline_ns, lambda: self._after_pipeline(frame))
 
     def _after_pipeline(self, frame: Frame) -> None:
         if self.policy.lossless == LosslessMode.NONE:
@@ -344,7 +344,7 @@ class BaselineSwitch(Process):
         link = self.egress_links[port]
         link.send(frame, frame.wire_bytes)
         done_at = link.busy_until
-        self.sim.schedule_at(done_at, lambda: self._served(port, frame))
+        self.sim.post_at(done_at, lambda: self._served(port, frame))
 
     def _served(self, port: int, frame: Frame) -> None:
         state = self.egress[port]
@@ -393,21 +393,22 @@ class QueueingFabric(Fabric):
         *,
         deadline_ns: Optional[float] = None,
     ) -> FabricResult:
-        sim = Simulator()
+        ctx = self.new_context()
+        sim = ctx.sim
         policy = self.policy
-        switch = BaselineSwitch(sim, policy)
+        switch = BaselineSwitch(ctx, policy)
         hosts: Dict[int, BaselineHost] = {}
         result = FabricResult(fabric=self.name)
 
         for node in range(self.config.num_nodes):
-            host = BaselineHost(sim, node, self.config.link_gbps, policy)
+            host = BaselineHost(ctx, node, self.config.link_gbps, policy)
             uplink = Link(
-                sim, self.config.link_gbps, self.config.propagation_ns,
+                ctx, self.config.link_gbps, self.config.propagation_ns,
                 receiver=switch.on_ingress, name=f"up{node}",
             )
             host.uplink = uplink
             downlink = Link(
-                sim, self.config.link_gbps, self.config.propagation_ns,
+                ctx, self.config.link_gbps, self.config.propagation_ns,
                 name=f"down{node}",
             )
             switch.attach_port(node, downlink)
@@ -427,7 +428,7 @@ class QueueingFabric(Fabric):
             # Per-frame ACK back to the data sender (carries the ECN echo).
             sender = hosts[frame.src]
             was_marked = frame.marked
-            sim.schedule_at(
+            sim.post_at(
                 sim.now + feedback_delay, lambda: sender.on_ack(was_marked)
             )
             flow.packets_delivered += 1
@@ -493,16 +494,25 @@ class QueueingFabric(Fabric):
             # A dropped single-frame memory message can only recover via
             # timeout (§2.4 limitation 6).
             sender = hosts[frame.src]
-            sim.schedule_at(
+            sim.post_at(
                 sim.now + self.policy.rto_ns, lambda: sender.inject(frame)
             )
 
         switch.on_drop = on_drop
 
-        for message in sorted(messages, key=lambda m: m.arrival_ns):
-            sim.schedule_at(message.arrival_ns, lambda m=message: launch(m))
+        sim.schedule_batch(
+            (
+                (m.arrival_ns, lambda m=m: launch(m))
+                for m in sorted(messages, key=lambda m: m.arrival_ns)
+            ),
+            absolute=True,
+        )
         sim.run(until=deadline_ns)
         result.incomplete = len(messages) - len(result.records)
+        ctx.stats.incr("messages_offered", len(messages))
+        ctx.stats.incr("frames_dropped", switch.drops)
+        ctx.stats.incr("sim_events", sim.events_processed)
+        result.stats = ctx.stats.to_dict()
         return result
 
     def run_with_baselines(

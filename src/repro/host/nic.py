@@ -48,6 +48,7 @@ from repro.host.wire import (
     request_transfer,
 )
 from repro.memctrl.controller import MemoryController
+from repro.sim.context import SimContext
 from repro.sim.engine import Process, Simulator
 from repro.sim.link import Link
 
@@ -117,7 +118,7 @@ class EdmHostNic(Process):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "Simulator | SimContext",
         node_id: int,
         router: CompletionRouter,
         config: HostConfig = HostConfig(),
@@ -156,7 +157,7 @@ class EdmHostNic(Process):
     def _send(self, transfer: WireTransfer, after_ns: float) -> None:
         if self.uplink is None:
             raise HostError(f"node {self.node_id} has no uplink attached")
-        self.schedule(after_ns, lambda: self.uplink.send(transfer, transfer.wire_bytes))
+        self.post(after_ns, lambda: self.uplink.send(transfer, transfer.wire_bytes))
 
     # ------------------------------------------------------------------ #
     # compute-side API (§2.3's four message types)                       #

@@ -66,7 +66,12 @@ class Dram:
     def read(self, address: int, length: int) -> "tuple[bytes, float]":
         """Read ``length`` bytes; returns (data, latency_ns)."""
         self._check_range(address, length)
-        data = bytes(self._store.get(address + i, 0) for i in range(length))
+        if not self._store:
+            # Nothing ever written (fabric runs carry sizes, not payloads):
+            # skip the per-byte gather.
+            data = bytes(length)
+        else:
+            data = bytes(self._store.get(address + i, 0) for i in range(length))
         latency = self._access_latency(address, length)
         self.reads += 1
         return data, latency
@@ -74,8 +79,11 @@ class Dram:
     def write(self, address: int, data: bytes) -> float:
         """Write ``data``; returns latency_ns."""
         self._check_range(address, len(data))
-        for i, b in enumerate(data):
-            self._store[address + i] = b
+        if self._store or any(data):
+            # Zero writes into an untouched store are a no-op: reads
+            # default to zero, so only real payloads pay the byte loop.
+            for i, b in enumerate(data):
+                self._store[address + i] = b
         latency = self._access_latency(address, len(data))
         self.writes += 1
         return latency

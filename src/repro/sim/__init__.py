@@ -1,6 +1,15 @@
-"""Discrete-event simulation substrate: engine, links, stats, RNG."""
+"""Discrete-event simulation substrate: engine, context, links, stats, RNG."""
 
-from repro.sim.engine import EventHandle, Process, Simulator, Timeline
+from repro.sim.context import SimContext, StatsSink
+from repro.sim.engine import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    EventHandle,
+    Process,
+    Simulator,
+    Timeline,
+    process_events_executed,
+)
 from repro.sim.link import DuplexLink, Link
 from repro.sim.rng import make_rng, spawn
 from repro.sim.stats import (
@@ -12,17 +21,22 @@ from repro.sim.stats import (
 )
 
 __all__ = [
+    "DEFAULT_KERNEL",
     "DuplexLink",
     "EventHandle",
+    "KERNELS",
     "LatencyRecorder",
     "Link",
     "MctRecorder",
     "Process",
+    "SimContext",
     "Simulator",
+    "StatsSink",
     "Summary",
     "Timeline",
     "ideal_mct_ns",
     "make_rng",
+    "process_events_executed",
     "spawn",
     "throughput_mrps",
 ]

@@ -1,44 +1,102 @@
-"""Discrete-event simulation engine.
+"""Discrete-event simulation engine with pluggable queue kernels.
 
-A small, deterministic event-driven kernel: events are (time, priority,
-sequence, callback) tuples on a binary heap.  Ties on time are broken first
-by an explicit integer priority, then by insertion order, so repeated runs
-with the same seed replay identically — a property the reproduction's
-regression tests rely on.
+Events are totally ordered by ``(time, priority, seq)``: ties on time are
+broken first by an explicit integer priority, then by insertion order, so
+repeated runs with the same seed replay identically — a property the
+reproduction's regression tests rely on.
+
+Two kernels implement the pending-event set:
+
+* ``"calendar"`` (default) — a calendar-queue/time-wheel scheduler
+  [R. Brown, CACM 1988]: events hash into time buckets of an adaptive
+  width, enqueue is an O(1) bucket insertion and dequeue scans forward
+  from the current bucket.  Entries are plain tuples, so ordering
+  comparisons run at C speed instead of through Python ``__lt__`` calls.
+* ``"heap"`` — the original binary-heap path, kept as a fallback and as
+  the reference implementation the equivalence tests replay against.
+
+Both kernels delete cancelled events lazily (a tombstone flag) and
+compact the queue once tombstones outnumber live events, so a workload
+that arms-and-cancels timers cannot grow the queue without bound.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heapify, heappop, heappush, nsmallest
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 EventCallback = Callable[[], None]
 
+#: Kernel registry keys, in preference order.
+KERNELS = ("calendar", "heap")
 
-@dataclass(order=True)
+DEFAULT_KERNEL = "calendar"
+
+#: Events may not be scheduled at or beyond this time (guards the
+#: calendar bucket arithmetic against inf/NaN times).
+MAX_EVENT_TIME = 1e300
+
+#: Queues smaller than this are never compacted (not worth the rebuild).
+_COMPACT_MIN = 64
+
+#: Process-wide count of events executed across every Simulator instance.
+#: The experiment runner reads deltas around each cell to report
+#: events/sec without threading a handle through the fabric models.
+_EVENTS_EXECUTED = 0
+
+
+def process_events_executed() -> int:
+    """Total events executed by all simulators in this process so far."""
+    return _EVENTS_EXECUTED
+
+
 class _Event:
-    time: float
-    priority: int
-    seq: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One pending callback.  Slotted: the hot loop allocates millions."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "in_queue")
+
+    def __init__(
+        self, time: float, priority: int, seq: int, callback: EventCallback
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.in_queue = True
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<_Event t={self.time} prio={self.priority} seq={self.seq} {state}>"
 
 
 class EventHandle:
     """Opaque handle allowing a scheduled event to be cancelled."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_kernel")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, kernel: "_HeapKernel") -> None:
         self._event = event
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already fired."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if event.in_queue:
+            self._kernel.on_cancel(event)
 
     @property
     def cancelled(self) -> bool:
@@ -49,18 +107,464 @@ class EventHandle:
         return self._event.time
 
 
+#: Queue entries are plain tuples so bucket sorts and comparisons run at
+#: C speed; ``seq`` is unique, so the trailing payload never compares.
+#: The payload is a bare callback for fire-and-forget events (the vast
+#: majority — link deliveries, pipeline stages) or an :class:`_Event`
+#: when the caller holds a cancellation handle.  ``pop`` returns an entry
+#: whose payload is always a callback.
+_Entry = Tuple[float, int, int, Any]
+
+
+class _HeapKernel:
+    """Binary-heap pending set — the seed implementation, kept as fallback.
+
+    Events sit directly on the heap and compare through ``_Event.__lt__``.
+    Cancelled events are purged when they surface at the top, or in bulk
+    once tombstones outnumber live events.
+    """
+
+    name = "heap"
+
+    __slots__ = ("_heap", "_tombstones")
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+        self._tombstones = 0
+
+    def __len__(self) -> int:
+        return len(self._heap) - self._tombstones
+
+    def push(self, event: _Event) -> None:
+        heappush(self._heap, event)
+
+    def push_batch(self, events: List[_Event]) -> None:
+        if self._heap:
+            for event in events:
+                heappush(self._heap, event)
+        else:
+            self._heap = events
+            heapify(self._heap)
+
+    def push_raw(
+        self, time: float, priority: int, seq: int, callback: EventCallback
+    ) -> None:
+        heappush(self._heap, _Event(time, priority, seq, callback))
+
+    def push_raw_batch(self, events: List[Tuple[float, int, int, EventCallback]]) -> None:
+        self.push_batch([_Event(*fields) for fields in events])
+
+    def peek_time(self) -> Optional[float]:
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heappop(heap)
+                head.in_queue = False
+                self._tombstones -= 1
+                continue
+            return head.time
+        return None
+
+    def pop_if_before(self, limit: float) -> Optional[_Entry]:
+        """Pop the next live event iff its time is <= ``limit``."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heappop(heap)
+                head.in_queue = False
+                self._tombstones -= 1
+                continue
+            if head.time > limit:
+                return None
+            heappop(heap)
+            head.in_queue = False
+            return (head.time, head.priority, head.seq, head.callback)
+        return None
+
+    def pop(self) -> Optional[_Entry]:
+        heap = self._heap
+        while heap:
+            event = heappop(heap)
+            if event.cancelled:
+                event.in_queue = False
+                self._tombstones -= 1
+                continue
+            event.in_queue = False
+            return (event.time, event.priority, event.seq, event.callback)
+        return None
+
+    def on_cancel(self, event: _Event) -> None:
+        self._tombstones += 1
+        if (
+            self._tombstones > len(self._heap) - self._tombstones
+            and len(self._heap) >= _COMPACT_MIN
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop tombstones and re-heapify the survivors."""
+        live: List[_Event] = []
+        for event in self._heap:
+            if event.cancelled:
+                event.in_queue = False
+            else:
+                live.append(event)
+        heapify(live)
+        self._heap = live
+        self._tombstones = 0
+
+    @property
+    def tombstones(self) -> int:
+        return self._tombstones
+
+    def clear(self) -> None:
+        for event in self._heap:
+            event.in_queue = False
+        self._heap = []
+        self._tombstones = 0
+
+
+class _CalendarKernel:
+    """Calendar-queue pending set (Brown 1988), with lazy deletion.
+
+    Events hash into ``nbuckets`` (a power of two) buckets of ``width``
+    nanoseconds; each bucket is a sorted list of entry tuples.  Dequeue
+    scans forward from the bucket containing the last-popped time,
+    accepting a bucket's head only when it falls inside the bucket's
+    current-year window; a full fruitless lap falls back to a direct
+    minimum search (the standard sparse-queue escape).  The bucket count
+    tracks the live population and the width is re-estimated from the
+    inter-event gaps near the head on every resize, keeping amortized
+    O(1) enqueue/dequeue across arrival-rate regimes.
+    """
+
+    name = "calendar"
+
+    __slots__ = (
+        "_buckets", "_nbuckets", "_mask", "_width", "_inv_width",
+        "_cur", "_bucket_top", "_live", "_tombstones", "_floor", "_peeked",
+        "_resize_up", "_resize_down", "_fallbacks",
+    )
+
+    #: Forward-scan budget per dequeue before falling back to a direct
+    #: minimum search; repeated fallbacks trigger a re-widening rebuild.
+    SCAN_LIMIT = 128
+
+    #: Direct-search fallbacks tolerated before the width is re-estimated.
+    FALLBACK_LIMIT = 8
+
+    def __init__(self) -> None:
+        self._live = 0
+        self._tombstones = 0
+        self._floor = 0.0
+        self._peeked: Optional[Tuple[_Entry, int]] = None
+        self._fallbacks = 0
+        self._configure(4, 1.0)
+
+    def _configure(self, nbuckets: int, width: float) -> None:
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets: List[List[_Entry]] = [[] for _ in range(nbuckets)]
+        self._resize_up = 2 * nbuckets
+        self._resize_down = nbuckets // 2 - 2 if nbuckets > 8 else 0
+        absolute = int(self._floor * self._inv_width)
+        self._cur = absolute & self._mask
+        self._bucket_top = (absolute + 1) * width
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def tombstones(self) -> int:
+        return self._tombstones
+
+    def push(self, event: _Event) -> None:
+        index = int(event.time * self._inv_width) & self._mask
+        insort(self._buckets[index], (event.time, event.priority, event.seq, event))
+        self._live += 1
+        self._peeked = None
+        if self._live > self._resize_up:
+            self._rebuild()
+
+    def push_raw(
+        self, time: float, priority: int, seq: int, callback: EventCallback
+    ) -> None:
+        index = int(time * self._inv_width) & self._mask
+        insort(self._buckets[index], (time, priority, seq, callback))
+        self._live += 1
+        self._peeked = None
+        if self._live > self._resize_up:
+            self._rebuild()
+
+    def push_batch(self, events: List[_Event]) -> None:
+        self.push_raw_batch(
+            [(e.time, e.priority, e.seq, e) for e in events]
+        )
+
+    def push_raw_batch(self, entries: List[_Entry]) -> None:
+        mask = self._mask
+        inv = self._inv_width
+        buckets = self._buckets
+        touched = set()
+        for entry in entries:
+            index = int(entry[0] * inv) & mask
+            buckets[index].append(entry)
+            touched.add(index)
+        for index in touched:
+            buckets[index].sort()
+        self._live += len(entries)
+        self._peeked = None
+        if self._live > self._resize_up:
+            self._rebuild()
+
+    def _scan(self) -> Optional[Tuple[_Entry, int]]:
+        """Locate (but do not remove) the next live entry.
+
+        The persistent cursor only advances in :meth:`pop` — committing it
+        here could skip past buckets that a later ``schedule`` call (legal
+        for any ``time >= now``) would still need the scan to visit.
+        """
+        if self._live == 0:
+            return None
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        index = self._cur
+        top = self._bucket_top
+        limit = self._nbuckets
+        if limit > self.SCAN_LIMIT:
+            limit = self.SCAN_LIMIT
+        for _ in range(limit):
+            bucket = buckets[index]
+            while bucket:
+                payload = bucket[0][3]
+                if type(payload) is _Event and payload.cancelled:
+                    payload.in_queue = False
+                    del bucket[0]
+                    self._tombstones -= 1
+                    continue
+                break
+            if bucket and bucket[0][0] < top:
+                self._peeked = (bucket[0], index)
+                return self._peeked
+            index = (index + 1) & mask
+            top += width
+        # Scan budget exhausted with nothing inside its window: the head
+        # of the queue is sparse relative to the bucket width.  Fall back
+        # to a direct minimum search; if that keeps happening, re-estimate
+        # the width from the (now sparse) head gaps and retry once.
+        self._fallbacks += 1
+        if self._fallbacks >= self.FALLBACK_LIMIT:
+            self._fallbacks = 0
+            self._rebuild()
+            return self._scan()
+        best: Optional[_Entry] = None
+        best_index = -1
+        for index, bucket in enumerate(buckets):
+            while bucket:
+                payload = bucket[0][3]
+                if type(payload) is _Event and payload.cancelled:
+                    payload.in_queue = False
+                    del bucket[0]
+                    self._tombstones -= 1
+                    continue
+                break
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_index = index
+        if best is None:
+            return None
+        self._peeked = (best, best_index)
+        return self._peeked
+
+    def peek_time(self) -> Optional[float]:
+        # Fast path mirroring pop(): the head is usually a live entry in
+        # the current bucket's window.
+        bucket = self._buckets[self._cur]
+        if bucket:
+            entry = bucket[0]
+            if entry[0] < self._bucket_top:
+                payload = entry[3]
+                if type(payload) is not _Event or not payload.cancelled:
+                    return entry[0]
+        found = self._peeked or self._scan()
+        return found[0][0] if found is not None else None
+
+    def pop(self) -> Optional[_Entry]:
+        found = self._peeked
+        if found is None:
+            # Fast path: with the width tracking the local inter-event gap,
+            # the next event usually sits in the current bucket — no scan,
+            # no cursor arithmetic (the window is unchanged).
+            bucket = self._buckets[self._cur]
+            if bucket:
+                entry = bucket[0]
+                if entry[0] < self._bucket_top and type(entry[3]) is not _Event:
+                    del bucket[0]
+                    self._live -= 1
+                    self._floor = entry[0]
+                    if self._live < self._resize_down:
+                        self._rebuild()
+                    return entry
+            found = self._scan()
+        if found is None:
+            return None
+        entry, index = found
+        self._peeked = None
+        del self._buckets[index][0]
+        self._live -= 1
+        time = entry[0]
+        self._floor = time
+        absolute = int(time * self._inv_width)
+        self._cur = absolute & self._mask
+        self._bucket_top = (absolute + 1) * self._width
+        if self._live < self._resize_down:
+            self._rebuild()
+        payload = entry[3]
+        if type(payload) is _Event:
+            payload.in_queue = False
+            return (time, entry[1], entry[2], payload.callback)
+        return entry
+
+    def pop_if_before(self, limit: float) -> Optional[_Entry]:
+        """Pop the next live event iff its time is <= ``limit``.
+
+        Fuses the deadline-driven run loop's peek + pop into one bucket
+        access for the common case.
+        """
+        found = self._peeked
+        if found is None:
+            bucket = self._buckets[self._cur]
+            if bucket:
+                entry = bucket[0]
+                if entry[0] < self._bucket_top and type(entry[3]) is not _Event:
+                    if entry[0] > limit:
+                        return None
+                    del bucket[0]
+                    self._live -= 1
+                    self._floor = entry[0]
+                    if self._live < self._resize_down:
+                        self._rebuild()
+                    return entry
+            found = self._scan()
+            if found is None:
+                return None
+        if found[0][0] > limit:
+            return None
+        return self.pop()
+
+    def on_cancel(self, event: _Event) -> None:
+        self._live -= 1
+        self._tombstones += 1
+        self._peeked = None
+        if (
+            self._tombstones > self._live
+            and self._live + self._tombstones >= _COMPACT_MIN
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop tombstones bucket-by-bucket, preserving sorted order."""
+        for bucket in self._buckets:
+            if not bucket:
+                continue
+            live = []
+            for entry in bucket:
+                payload = entry[3]
+                if type(payload) is _Event and payload.cancelled:
+                    payload.in_queue = False
+                else:
+                    live.append(entry)
+            if len(live) != len(bucket):
+                bucket[:] = live
+        self._tombstones = 0
+        self._peeked = None
+
+    def _rebuild(self) -> None:
+        """Re-bucket the live population; drops tombstones as a side effect."""
+        entries: List[_Entry] = []
+        for bucket in self._buckets:
+            for entry in bucket:
+                payload = entry[3]
+                if type(payload) is _Event and payload.cancelled:
+                    payload.in_queue = False
+                else:
+                    entries.append(entry)
+        self._tombstones = 0
+        self._live = len(entries)
+        nbuckets = max(4, 1 << self._live.bit_length())
+        self._configure(nbuckets, self._estimate_width(entries))
+        buckets = self._buckets
+        mask = self._mask
+        inv = self._inv_width
+        for entry in entries:
+            buckets[int(entry[0] * inv) & mask].append(entry)
+        for bucket in buckets:
+            if len(bucket) > 1:
+                bucket.sort()
+        self._peeked = None
+
+    def _estimate_width(self, entries: List[_Entry]) -> float:
+        """Bucket width from the mean gap among the events near the head.
+
+        Brown's rule of thumb: a width of ~3x the local inter-event gap
+        keeps bucket occupancy near one for the events that matter (those
+        about to be dequeued), regardless of far-future outliers.
+        """
+        if len(entries) < 2:
+            return self._width
+        head = nsmallest(min(len(entries), 64), entries)
+        gaps = [
+            later[0] - earlier[0]
+            for earlier, later in zip(head, head[1:])
+            if later[0] > earlier[0]
+        ]
+        if not gaps:
+            return self._width
+        return 3.0 * (sum(gaps) / len(gaps))
+
+    def clear(self) -> None:
+        for bucket in self._buckets:
+            for entry in bucket:
+                if type(entry[3]) is _Event:
+                    entry[3].in_queue = False
+        self._live = 0
+        self._tombstones = 0
+        self._floor = 0.0
+        self._peeked = None
+        self._configure(4, 1.0)
+
+
+_KERNEL_TYPES = {"calendar": _CalendarKernel, "heap": _HeapKernel}
+
+
 class Simulator:
     """The event loop.
 
     Typical use::
 
-        sim = Simulator()
+        sim = Simulator()                  # calendar-queue kernel
+        sim = Simulator(kernel="heap")     # binary-heap fallback
         sim.schedule(10.0, lambda: print("at t=10ns"))
         sim.run()
+
+    Both kernels replay the exact same event order (asserted by the
+    equivalence tests); ``kernel="heap"`` trades speed for the simplest
+    possible queue implementation.
     """
 
-    def __init__(self) -> None:
-        self._heap: List[_Event] = []
+    def __init__(self, kernel: str = DEFAULT_KERNEL) -> None:
+        try:
+            self._queue = _KERNEL_TYPES[kernel]()
+        except KeyError:
+            raise SimulationError(
+                f"unknown kernel {kernel!r} (choose from {', '.join(KERNELS)})"
+            ) from None
+        self.kernel = kernel
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
@@ -77,7 +581,21 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) events still queued."""
+        return len(self._queue)
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled events awaiting lazy deletion."""
+        return self._queue.tombstones
+
+    def _check_time(self, time: float) -> None:
+        if not time < MAX_EVENT_TIME:  # also rejects NaN
+            raise SimulationError(f"event time must be finite, got {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
 
     def schedule(
         self, delay: float, callback: EventCallback, *, priority: int = 0
@@ -88,21 +606,67 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        event = _Event(self._now + delay, priority, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        time = self._now + delay
+        self._check_time(time)
+        event = _Event(time, priority, next(self._seq), callback)
+        self._queue.push(event)
+        return EventHandle(event, self._queue)
 
     def schedule_at(
         self, time: float, callback: EventCallback, *, priority: int = 0
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulation time ``time``."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule into the past: t={time} < now={self._now}"
-            )
+        self._check_time(time)
         event = _Event(time, priority, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._queue.push(event)
+        return EventHandle(event, self._queue)
+
+    def post(self, delay: float, callback: EventCallback, *, priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, so no cancellation.
+
+        The hot paths (link deliveries, switch pipelines) schedule millions
+        of events they never cancel; skipping the handle (and, on the
+        calendar kernel, the event object itself) is a measurable win.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        time = self._now + delay
+        if not time < MAX_EVENT_TIME:
+            raise SimulationError(f"event time must be finite, got {time}")
+        self._queue.push_raw(time, priority, next(self._seq), callback)
+
+    def post_at(self, time: float, callback: EventCallback, *, priority: int = 0) -> None:
+        """Fire-and-forget :meth:`schedule_at`."""
+        if not self._now <= time < MAX_EVENT_TIME:
+            self._check_time(time)
+        self._queue.push_raw(time, priority, next(self._seq), callback)
+
+    def schedule_batch(
+        self,
+        items: Iterable[Tuple[float, EventCallback]],
+        *,
+        absolute: bool = False,
+        priority: int = 0,
+    ) -> int:
+        """Bulk-schedule ``(time, callback)`` pairs in one kernel operation.
+
+        With ``absolute=True`` the first element of each pair is an
+        absolute simulation time, otherwise a delay from now.  Returns the
+        number of events scheduled.  Sequence numbers are assigned in
+        iteration order, so a batch replays identically to an equivalent
+        loop of :meth:`schedule` calls.
+        """
+        now = self._now
+        seq = self._seq
+        entries: List[Tuple[float, int, int, EventCallback]] = []
+        for time, callback in items:
+            if not absolute:
+                time = now + time
+            self._check_time(time)
+            entries.append((time, priority, next(seq), callback))
+        if entries:
+            self._queue.push_raw_batch(entries)
+        return len(entries)
 
     def run(
         self,
@@ -113,63 +677,106 @@ class Simulator:
 
         Returns the simulation time when the run stopped.
         """
+        global _EVENTS_EXECUTED
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        processed = 0
+        queue = self._queue
+        peek_time = queue.peek_time
+        pop = queue.pop
         try:
-            processed = 0
-            while self._heap:
-                if max_events is not None and processed >= max_events:
-                    break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.callback()
-                processed += 1
-                self._events_processed += 1
+            if until is None and max_events is None:
+                # Fast path: drain the queue with the minimum of checks.
+                while True:
+                    entry = pop()
+                    if entry is None:
+                        break
+                    self._now = entry[0]
+                    entry[3]()
+                    processed += 1
+            elif max_events is None:
+                # Deadline-only loop: the dominant mode for fabric runs.
+                pop_if_before = queue.pop_if_before
+                while True:
+                    entry = pop_if_before(until)
+                    if entry is None:
+                        self._now = until if peek_time() is not None else max(
+                            self._now, until
+                        )
+                        break
+                    self._now = entry[0]
+                    entry[3]()
+                    processed += 1
             else:
-                if until is not None:
-                    self._now = max(self._now, until)
+                while True:
+                    head_time = peek_time()
+                    if head_time is None:
+                        if until is not None:
+                            self._now = max(self._now, until)
+                        break
+                    if max_events is not None and processed >= max_events:
+                        break
+                    if until is not None and head_time > until:
+                        self._now = until
+                        break
+                    entry = pop()
+                    self._now = entry[0]
+                    entry[3]()
+                    processed += 1
         finally:
             self._running = False
+            self._events_processed += processed
+            _EVENTS_EXECUTED += processed
         return self._now
 
     def step(self) -> bool:
         """Process a single event.  Returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.callback()
-            self._events_processed += 1
-            return True
-        return False
+        global _EVENTS_EXECUTED
+        entry = self._queue.pop()
+        if entry is None:
+            return False
+        self._now = entry[0]
+        entry[3]()
+        self._events_processed += 1
+        _EVENTS_EXECUTED += 1
+        return True
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
-        self._heap.clear()
+        self._queue.clear()
         self._now = 0.0
         self._events_processed = 0
 
 
 class Process:
-    """Base class for simulation entities that own a reference to the engine."""
+    """Base class for simulation entities that own a reference to the engine.
 
-    def __init__(self, sim: Simulator, name: str = "") -> None:
-        self.sim = sim
+    Accepts either a bare :class:`Simulator` or a
+    :class:`~repro.sim.context.SimContext`; in the latter case the
+    context's clock, RNG, and stats sinks are all reachable through
+    ``self.ctx``.
+    """
+
+    def __init__(self, sim: Any, name: str = "") -> None:
+        # Duck-typed so repro.sim.context need not be imported here
+        # (context imports the engine, not the other way around).
+        inner = getattr(sim, "sim", None)
+        if isinstance(inner, Simulator):
+            self.ctx = sim
+            self.sim = inner
+        else:
+            self.ctx = None
+            self.sim = sim
         self.name = name or type(self).__name__
 
     def schedule(
         self, delay: float, callback: EventCallback, *, priority: int = 0
     ) -> EventHandle:
         return self.sim.schedule(delay, callback, priority=priority)
+
+    def post(self, delay: float, callback: EventCallback, *, priority: int = 0) -> None:
+        self.sim.post(delay, callback, priority=priority)
 
     @property
     def now(self) -> float:

@@ -71,7 +71,7 @@ class Link(Process):
         arrival = finish + self.propagation_ns
         self.bytes_sent += size_bytes
         receiver = self.receiver
-        self.sim.schedule_at(arrival, lambda: receiver(payload))
+        self.sim.post_at(arrival, lambda: receiver(payload))
         return arrival
 
     def next_free_time(self) -> float:

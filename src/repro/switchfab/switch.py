@@ -40,6 +40,7 @@ class EdmSwitch(Process):
         self.cycle_ns = cycle_ns
         self.egress: Dict[int, Link] = {}
         self._round_armed_at: Optional[float] = None
+        self._round_handle = None
         self.transfers_forwarded = 0
         self.demands_accepted = 0
 
@@ -67,13 +68,13 @@ class EdmSwitch(Process):
         """Entry point for a transfer arriving from any host uplink."""
         classify = self._cycles(cycles.SWITCH_RX_CLASSIFY_CYCLES)
         if transfer.kind == TransferKind.NOTIFY:
-            self.schedule(classify, lambda: self._accept_notification(transfer))
+            self.post(classify, lambda: self._accept_notification(transfer))
         elif transfer.kind == TransferKind.REQUEST:
-            self.schedule(classify, lambda: self._accept_request(transfer))
+            self.post(classify, lambda: self._accept_request(transfer))
         elif transfer.kind == TransferKind.DATA_CHUNK:
             # Virtual circuit: no parsing, 4 cycles RX->TX clock movement.
             delay = classify + self._cycles(cycles.SWITCH_FORWARD_CYCLES)
-            self.schedule(delay, lambda: self._forward(transfer))
+            self.post(delay, lambda: self._forward(transfer))
         else:
             raise FabricError(f"switch cannot ingest transfer kind {transfer.kind}")
 
@@ -136,11 +137,18 @@ class EdmSwitch(Process):
         )
         if self._round_armed_at is not None and self._round_armed_at <= fire_at:
             return  # a round is already armed at least as early
+        if self._round_handle is not None:
+            # Supersede the later round instead of leaving it to fire as a
+            # duplicate: the kernel lazily deletes the tombstone.
+            self._round_handle.cancel()
         self._round_armed_at = fire_at
-        self.sim.schedule_at(fire_at, self._run_round, priority=1)
+        self._round_handle = self.sim.schedule_at(
+            fire_at, self._run_round, priority=1
+        )
 
     def _run_round(self) -> None:
         self._round_armed_at = None
+        self._round_handle = None
         issued = self.scheduler.schedule(self.now)
         for item in issued:
             self._deliver_grant(item)
@@ -162,14 +170,14 @@ class EdmSwitch(Process):
             # forward it to the memory node through the new circuit.
             request: WireTransfer = item.demand.carried_request
             delay = self._cycles(cycles.SWITCH_FORWARD_CYCLES)
-            self.schedule(delay, lambda: self._forward(request))
+            self.post(delay, lambda: self._forward(request))
             return
         # Otherwise a /G/ block to the data sender (WREQ: the compute node;
         # RRES chunks beyond the first: the memory node).
         sender = item.demand.src
         transfer = grant_transfer(item.grant, sender)
         delay = self._cycles(cycles.SWITCH_TX_GRANT_CYCLES)
-        self.schedule(
+        self.post(
             delay,
             lambda: self._egress_for(sender).send(transfer, transfer.wire_bytes),
         )

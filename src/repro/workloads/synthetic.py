@@ -9,6 +9,8 @@ mixed write:read ratios at load 0.8.
 
 from __future__ import annotations
 
+import functools
+import itertools
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -77,22 +79,46 @@ def mean_wire_bytes(cdf: SizeCdf) -> float:
     return mean
 
 
+@functools.lru_cache(maxsize=8)
+def _generate_cached(spec: SyntheticSpec) -> "tuple[OfferedMessage, ...]":
+    return tuple(_generate(spec))
+
+
 def generate(spec: SyntheticSpec) -> List[OfferedMessage]:
     """Generate the workload: per-node Poisson processes, uniform partners.
 
     A node's mean injection rate is ``load * link_gbps`` wire bits per ns;
     with mean wire size S bits the per-node inter-arrival mean is
     ``S / (load * link_gbps)`` ns.
+
+    Results are memoized per spec: an experiment grid offers the *same*
+    workload to every fabric at a given (load, seed), so the sweep would
+    otherwise regenerate it once per fabric.  Messages are frozen, so
+    sharing them across cells is safe.  ``seed=None`` asks for fresh OS
+    entropy, so those specs bypass the cache — every call still gets an
+    independent workload.
     """
+    if spec.seed is None:
+        return _generate(spec)
+    return list(_generate_cached(spec))
+
+
+def _generate(spec: SyntheticSpec) -> List[OfferedMessage]:
     rng = make_rng(spec.seed)
     mean_bits = mean_wire_bytes(spec.size_cdf) * 8.0
     messages: List[OfferedMessage] = []
+    # Explicit 0-based uids: the module-level fallback counter in
+    # fabrics.base never resets, so relying on it would give a workload
+    # different uids (and a different EDM address mapping) depending on
+    # how many generate() calls ran earlier in the same process.
+    uids = itertools.count()
 
     def new_message(src: int, dst: int, t: float) -> OfferedMessage:
         size = spec.size_cdf.sample(rng)
         is_read = bool(rng.random() >= spec.write_fraction)
         return OfferedMessage(
-            src=src, dst=dst, size_bytes=size, arrival_ns=t, is_read=is_read
+            src=src, dst=dst, size_bytes=size, arrival_ns=t,
+            is_read=is_read, uid=next(uids),
         )
 
     # Smooth component: independent per-source Poisson processes.
@@ -137,7 +163,7 @@ def generate(spec: SyntheticSpec) -> List[OfferedMessage]:
                     messages.append(
                         OfferedMessage(
                             src=victim, dst=int(peer), size_bytes=size,
-                            arrival_ns=t, is_read=True,
+                            arrival_ns=t, is_read=True, uid=next(uids),
                         )
                     )
                 else:
@@ -145,7 +171,7 @@ def generate(spec: SyntheticSpec) -> List[OfferedMessage]:
                     messages.append(
                         OfferedMessage(
                             src=int(peer), dst=victim, size_bytes=size,
-                            arrival_ns=t, is_read=False,
+                            arrival_ns=t, is_read=False, uid=next(uids),
                         )
                     )
 

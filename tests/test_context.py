@@ -1,0 +1,124 @@
+"""SimContext wiring, uid determinism, and runner perf recording."""
+
+from repro.experiments import Runner
+from repro.experiments.figures import Figure8aScale
+from repro.fabrics import ClusterConfig, fabric_by_name
+from repro.fabrics.edm import EdmCluster
+from repro.sim import Process, SimContext, Simulator, StatsSink
+from repro.workloads.synthetic import SyntheticSpec, generate
+from repro.workloads.distributions import fixed_size
+
+
+class TestSimContext:
+    def test_create_builds_kernelled_simulator(self):
+        ctx = SimContext.create(seed=3, kernel="heap")
+        assert ctx.sim.kernel == "heap"
+        assert ctx.now == 0.0
+
+    def test_process_accepts_context_or_simulator(self):
+        ctx = SimContext.create()
+        by_context = Process(ctx, "a")
+        assert by_context.sim is ctx.sim
+        assert by_context.ctx is ctx
+        sim = Simulator()
+        by_sim = Process(sim, "b")
+        assert by_sim.sim is sim
+        assert by_sim.ctx is None
+
+    def test_stats_sink_counters_and_series(self):
+        stats = StatsSink()
+        stats.incr("frames")
+        stats.incr("frames", 2)
+        stats.observe("depth", 1.0)
+        stats.observe("depth", 3.0)
+        snapshot = stats.to_dict()
+        assert snapshot["frames"] == 3
+        assert snapshot["depth_count"] == 2
+        assert snapshot["depth_mean"] == 2.0
+
+    def test_cluster_components_share_one_clock(self):
+        config = ClusterConfig(num_nodes=4, seed=0)
+        cluster = EdmCluster(config)
+        assert cluster.switch.sim is cluster.sim
+        for nic in cluster.nics.values():
+            assert nic.sim is cluster.sim
+            assert nic.ctx is cluster.ctx
+
+    def test_fabric_run_attaches_stats(self):
+        config = ClusterConfig(num_nodes=4, seed=0)
+        fabric = fabric_by_name("DCTCP", config)
+        messages = generate(
+            SyntheticSpec(
+                num_nodes=4, link_gbps=100.0, load=0.5,
+                message_count=50, size_cdf=fixed_size(64), seed=1,
+                incast_fraction=0.0,
+            )
+        )
+        result = fabric.run(messages, deadline_ns=1e9)
+        assert result.stats["messages_offered"] == 50
+        assert result.stats["sim_events"] > 0
+
+
+class TestUidDeterminism:
+    SPEC = dict(
+        num_nodes=6, link_gbps=100.0, load=0.5, message_count=200,
+        size_cdf=fixed_size(64), seed=5, incast_fraction=0.25,
+    )
+
+    def test_uids_are_zero_based_and_stable_across_runs(self):
+        first = generate(SyntheticSpec(**self.SPEC))
+        # Interleave an unrelated workload to pollute any global state.
+        generate(SyntheticSpec(**{**self.SPEC, "seed": 99}))
+        second = generate(SyntheticSpec(**self.SPEC))
+        assert [m.uid for m in first] == [m.uid for m in second]
+        assert min(m.uid for m in first) == 0
+        assert len({m.uid for m in first}) == len(first)
+
+    def test_distinct_specs_each_start_at_zero(self):
+        a = generate(SyntheticSpec(**self.SPEC))
+        b = generate(SyntheticSpec(**{**self.SPEC, "seed": 123}))
+        assert min(m.uid for m in a) == 0
+        assert min(m.uid for m in b) == 0
+
+
+class TestRunnerPerf:
+    def test_cells_record_wall_and_events(self):
+        scale = Figure8aScale(
+            num_nodes=4, message_count=200, fabric_names=("DCTCP",)
+        )
+        result = Runner(jobs=1).run("figure8a", loads=(0.5,), scale=scale)
+        assert len(result.cell_perf) == len(result.cells)
+        for perf in result.cell_perf:
+            assert perf["events"] > 0
+            assert perf["wall_s"] > 0
+            assert perf["events_per_s"] > 0
+        summary = result.perf_summary()
+        assert summary["events"] == sum(p["events"] for p in result.cell_perf)
+
+    def test_parallel_event_counts_match_serial(self):
+        scale = Figure8aScale(
+            num_nodes=4, message_count=200, fabric_names=("DCTCP", "IRD")
+        )
+        serial = Runner(jobs=1).run("figure8a", loads=(0.5,), scale=scale)
+        parallel = Runner(jobs=2).run("figure8a", loads=(0.5,), scale=scale)
+        assert [p["events"] for p in serial.cell_perf] == [
+            p["events"] for p in parallel.cell_perf
+        ]
+
+    def test_kernel_threads_through_scale(self):
+        scale = Figure8aScale(
+            num_nodes=4, message_count=200,
+            fabric_names=("DCTCP",), kernel="heap",
+        )
+        heap = Runner(jobs=1).run("figure8a", loads=(0.5,), scale=scale)
+        calendar = Runner(jobs=1).run(
+            "figure8a",
+            loads=(0.5,),
+            scale=Figure8aScale(
+                num_nodes=4, message_count=200, fabric_names=("DCTCP",),
+            ),
+        )
+        assert heap.reduced == calendar.reduced
+        assert [p["events"] for p in heap.cell_perf] == [
+            p["events"] for p in calendar.cell_perf
+        ]

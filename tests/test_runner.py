@@ -107,11 +107,17 @@ class TestRunner:
         assert serial.cells == parallel.cells
         assert serial.cell_results == parallel.cell_results
         assert serial.reduced == parallel.reduced
-        # Bit-identical artifacts modulo timestamps and timing.
+        # Bit-identical artifacts modulo timestamps and timing: the wall
+        # clock (and with it events/sec) varies run to run, but the event
+        # *counts* must match exactly.
         a = artifact_payload(serial, created_at="T")
         b = artifact_payload(parallel, created_at="T")
-        for volatile in ("elapsed_s", "jobs"):
+        for volatile in ("elapsed_s", "jobs", "perf"):
             a.pop(volatile), b.pop(volatile)
+        for cell_a, cell_b in zip(a["cells"], b["cells"]):
+            perf_a = cell_a.pop("perf")
+            perf_b = cell_b.pop("perf")
+            assert perf_a["events"] == perf_b["events"]
         assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
 
     def test_run_experiment_wrapper(self):
