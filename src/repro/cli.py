@@ -10,7 +10,11 @@ Usage::
     python -m repro.cli figure8b --nodes 12 --messages 1200 --apps memcached
     python -m repro.cli run figure8a --jobs 4 --out results
     python -m repro.cli run --list
+    python -m repro.cli scenario list
+    python -m repro.cli scenario run --jobs 4
+    python -m repro.cli scenario run pfc_incast_failover --nodes 8 --messages 400
     python -m repro.cli bench-kernel --nodes 16 --messages 4000
+    python -m repro.cli bench-gate --baseline BENCH_baseline.json --current BENCH_kernel.json
     python -m repro.cli checks
 
 Simulation subcommands fan their parameter grid out over ``--jobs``
@@ -219,6 +223,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
         args.seed = 1 if args.seed is None else args.seed
         _warn_ignored_flags(name, args, ("loads", "families"))
         options = _figure8b_options(args)
+    elif name == "scenarios":
+        _warn_ignored_flags(name, args, ("loads", "apps", "fabrics", "families"))
+        options = _scenario_options(args)
     elif name == "ablations":
         _warn_ignored_flags(name, args, ("loads", "apps", "fabrics"))
         options = {
@@ -242,6 +249,11 @@ def _cmd_run(args: argparse.Namespace) -> None:
         options = {}
     result = _run_and_persist(name, args, options)
     reduced = result.reduced
+    if name == "scenarios":
+        from repro.scenarios import format_scenario_results
+
+        print(format_scenario_results(reduced))
+        return
     if isinstance(reduced, dict) and all(
         isinstance(v, dict) for v in reduced.values()
     ):
@@ -249,6 +261,50 @@ def _cmd_run(args: argparse.Namespace) -> None:
     else:
         print(f"{name} ({result.jobs} jobs):")
         print(reduced)
+
+
+def _scenario_options(args: argparse.Namespace) -> Dict[str, Any]:
+    """Scale overrides for the scenarios experiment (0/None = spec value)."""
+    options: Dict[str, Any] = {}
+    if getattr(args, "names", None):
+        options["names"] = args.names
+    if args.seed is not None:
+        options["seed"] = args.seed
+    if args.nodes:
+        options["num_nodes"] = args.nodes
+    if args.messages:
+        options["message_count"] = args.messages
+    if args.kernel != DEFAULT_KERNEL:
+        options["kernel"] = args.kernel
+    return options
+
+
+def _cmd_scenario(args: argparse.Namespace) -> None:
+    from repro.scenarios import format_scenario_list, format_scenario_results
+
+    if args.action == "list":
+        print(format_scenario_list())
+        return
+    result = _run_and_persist("scenarios", args, _scenario_options(args))
+    print(format_scenario_results(result.reduced))
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.experiments.benchgate import gate_failures, gate_report
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+    print(gate_report(baseline, current, args.tolerance))
+    failures = gate_failures(baseline, current, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("bench gate: PASS")
 
 
 def _cmd_bench_kernel(args: argparse.Namespace) -> None:
@@ -366,6 +422,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runner_args(run)
     run.set_defaults(fn=_cmd_run)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative fabric × workload × fault scenarios"
+    )
+    scenario_sub = scenario.add_subparsers(dest="action", required=True)
+    scenario_list = scenario_sub.add_parser("list", help="list the catalog")
+    scenario_list.set_defaults(fn=_cmd_scenario)
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run scenarios through the parallel runner"
+    )
+    scenario_run.add_argument(
+        "names", nargs="*", default=[],
+        help="scenario names (default: the whole catalog)",
+    )
+    scenario_run.add_argument(
+        "--nodes", type=int, default=0,
+        help="override every scenario's cluster size (0 = spec value)",
+    )
+    scenario_run.add_argument(
+        "--messages", type=int, default=0,
+        help="override every scenario's message count (0 = spec value)",
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override every scenario's seed (default: spec value)",
+    )
+    scenario_run.add_argument(
+        "--kernel", type=str, default=DEFAULT_KERNEL, choices=KERNELS,
+        help="event-queue kernel (results are bit-identical across kernels)",
+    )
+    _add_runner_args(scenario_run)
+    scenario_run.set_defaults(fn=_cmd_scenario)
+
+    gate = sub.add_parser(
+        "bench-gate",
+        help="fail when BENCH_kernel events/sec regressed vs a baseline",
+    )
+    gate.add_argument("--baseline", type=str, default="BENCH_baseline.json")
+    gate.add_argument("--current", type=str, default="BENCH_kernel.json")
+    gate.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed %% drop (default: $REPRO_BENCH_TOLERANCE_PCT or 30)",
+    )
+    gate.set_defaults(fn=_cmd_bench_gate)
 
     bench = sub.add_parser(
         "bench-kernel",

@@ -53,3 +53,7 @@ class BenchmarkError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when an experiment or component is misconfigured."""
+
+
+class ScenarioError(ReproError):
+    """Raised by the scenario engine on invalid specs or fault schedules."""

@@ -31,6 +31,11 @@ from repro.experiments.figures import (
     summarize_shape_checks,
 )
 from repro.experiments.ablations import FAMILIES, run_ablations
+from repro.experiments.benchgate import (
+    DEFAULT_TOLERANCE_PCT,
+    gate_failures,
+    gate_tolerance_pct,
+)
 from repro.experiments.kernelbench import (
     format_kernel_bench,
     kernel_microbench,
@@ -38,9 +43,16 @@ from repro.experiments.kernelbench import (
     write_kernel_bench,
 )
 
+# Importing the scenario engine registers the "scenarios" experiment, so
+# runner workers (which import this package by name) can resolve it.
+import repro.scenarios.engine  # noqa: E402,F401  isort: skip
+
 __all__ = [
+    "DEFAULT_TOLERANCE_PCT",
     "FAMILIES",
     "Cell",
+    "gate_failures",
+    "gate_tolerance_pct",
     "ExperimentSpec",
     "Figure8aScale",
     "Figure8bScale",

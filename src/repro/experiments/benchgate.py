@@ -1,0 +1,159 @@
+"""CI perf-regression gate over ``BENCH_kernel.json`` artifacts.
+
+The bench job regenerates the kernel benchmark on every run; this module
+compares the fresh payload against the committed baseline and fails when
+``events_per_s`` regresses beyond a tolerance (default 30%, overridable
+via ``REPRO_BENCH_TOLERANCE_PCT`` or ``--tolerance``).  Absolute
+events/sec varies with runner hardware, which is exactly why the
+tolerance is generous: the gate exists to catch the order-of-magnitude
+"someone put a Python loop back in the hot path" regressions, not 5%
+noise.
+
+Compared series, when present in both payloads:
+
+* ``sweep.<kernel>.events_per_s`` — end-to-end figure-8a sweep
+  throughput per event kernel (the headline number).  These *gate*.
+* ``kernel_microbench.rows[depth].<kernel>_ops_per_s`` — raw queue-op
+  throughput at each depth.  Reported for context, never gated: raw ops
+  are the most machine-sensitive number in the payload.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.errors import BenchmarkError
+
+#: Allowed events/sec drop, in percent, before the gate fails.
+DEFAULT_TOLERANCE_PCT = 30.0
+
+#: Environment override for the tolerance.
+TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE_PCT"
+
+
+def gate_tolerance_pct(override: Optional[float] = None) -> float:
+    """Resolve the tolerance: explicit arg > env var > default."""
+    try:
+        if override is not None:
+            tolerance = float(override)
+        else:
+            raw = os.environ.get(TOLERANCE_ENV, "")
+            tolerance = float(raw) if raw else DEFAULT_TOLERANCE_PCT
+    except ValueError as exc:
+        raise BenchmarkError(f"tolerance is not a number: {exc}") from None
+    if not 0 < tolerance < 100:
+        raise BenchmarkError(
+            f"tolerance must be in (0, 100) percent, got {tolerance}"
+        )
+    return tolerance
+
+
+def _series(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Flatten a bench payload into named throughput series."""
+    out: Dict[str, float] = {}
+    for kernel, sweep in (payload.get("sweep") or {}).items():
+        value = sweep.get("events_per_s")
+        if value:
+            out[f"sweep.{kernel}.events_per_s"] = float(value)
+    micro = (payload.get("kernel_microbench") or {}).get("rows") or []
+    for row in micro:
+        depth = row.get("depth")
+        for key, value in row.items():
+            if key.endswith("_ops_per_s") and value:
+                out[f"microbench.depth{depth}.{key}"] = float(value)
+    return out
+
+
+def _check_configs_match(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> None:
+    """Refuse to compare runs of different benchmark configurations.
+
+    events/sec depends on queue depth and sweep size; comparing a
+    16-node baseline to an 8-node rerun would hide (or invent) a
+    regression.  ``jobs`` is exempt — per-cell wall time sums worker
+    time, so worker count does not change the metric's meaning.
+    """
+    base_cfg = dict(baseline.get("config") or {})
+    cur_cfg = dict(current.get("config") or {})
+    if not base_cfg or not cur_cfg:
+        return
+    base_cfg.pop("jobs", None)
+    cur_cfg.pop("jobs", None)
+    if base_cfg != cur_cfg:
+        raise BenchmarkError(
+            f"bench configs differ (baseline {base_cfg} vs current {cur_cfg}); "
+            f"regenerate with the baseline's configuration"
+        )
+
+
+def gate_failures(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance_pct: Optional[float] = None,
+) -> List[str]:
+    """Regression messages for every series that dropped past tolerance.
+
+    Empty list = gate passes.  Series only the *current* payload has are
+    skipped (schema growth must not fail old baselines), but a gated
+    sweep series the baseline has and the current run lacks — or reports
+    as zero — fails: a bench that stopped producing the number is a
+    regression, not a skip.
+    """
+    tolerance = gate_tolerance_pct(tolerance_pct)
+    _check_configs_match(baseline, current)
+    base_series = _series(baseline)
+    cur_series = _series(current)
+    if not base_series:
+        raise BenchmarkError("baseline payload carries no throughput series")
+    failures: List[str] = []
+    for name, base in sorted(base_series.items()):
+        if not name.startswith("sweep."):
+            continue
+        cur = cur_series.get(name)
+        if cur is None:
+            # A gated series that vanished (or collapsed to zero — _series
+            # drops falsy values) is the worst regression, not a skip.
+            failures.append(
+                f"{name}: missing or zero in current payload "
+                f"(baseline {base:,.0f})"
+            )
+            continue
+        floor = base * (1.0 - tolerance / 100.0)
+        if cur < floor:
+            drop = 100.0 * (base - cur) / base
+            failures.append(
+                f"{name}: {cur:,.0f} is {drop:.1f}% below baseline "
+                f"{base:,.0f} (tolerance {tolerance:g}%)"
+            )
+    return failures
+
+
+def gate_report(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    tolerance_pct: Optional[float] = None,
+) -> str:
+    """Human-readable delta table for every shared series."""
+    tolerance = gate_tolerance_pct(tolerance_pct)
+    base_series = _series(baseline)
+    cur_series = _series(current)
+    lines = [f"bench gate (tolerance {tolerance:g}% drop):"]
+    for name, base in sorted(base_series.items()):
+        cur = cur_series.get(name)
+        if cur is None:
+            lines.append(f"  {name:<44} baseline-only, skipped")
+            continue
+        delta = 100.0 * (cur - base) / base if base else 0.0
+        if not name.startswith("sweep."):
+            verdict = "info (not gated)"
+        elif cur < base * (1.0 - tolerance / 100.0):
+            verdict = "FAIL"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"  {name:<44} {base:>12,.0f} -> {cur:>12,.0f}  "
+            f"({delta:+.1f}%)  {verdict}"
+        )
+    return "\n".join(lines)

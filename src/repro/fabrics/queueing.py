@@ -377,13 +377,46 @@ class BaselineSwitch(Process):
         return sum(s.queued_bytes for s in self.egress.values())
 
 
+@dataclass
+class SubstrateTopology:
+    """Handle onto one run's live components, passed to ``topology_hook``.
+
+    The scenario engine's fault injector uses it to reach the links and
+    switch of a run *after* wiring but *before* the event loop starts, so
+    fault events can be scheduled against the same simulator the workload
+    runs on.  ``uplinks``/``downlinks`` are keyed by node id.
+    """
+
+    ctx: object                     # SimContext of this run
+    switch: "BaselineSwitch"
+    hosts: Dict[int, "BaselineHost"]
+
+    @property
+    def sim(self) -> Simulator:
+        return self.ctx.sim
+
+    @property
+    def uplinks(self) -> Dict[int, Link]:
+        return {node: host.uplink for node, host in self.hosts.items()}
+
+    @property
+    def downlinks(self) -> Dict[int, Link]:
+        return dict(self.switch.egress_links)
+
+
 class QueueingFabric(Fabric):
-    """A complete baseline fabric parameterized by a ProtocolPolicy."""
+    """A complete baseline fabric parameterized by a ProtocolPolicy.
+
+    ``topology_hook``, when set, is called once per :meth:`run` with a
+    :class:`SubstrateTopology` after the cluster is wired and before the
+    event loop starts — the attachment point for fault injection.
+    """
 
     def __init__(self, config: ClusterConfig, policy: ProtocolPolicy) -> None:
         super().__init__(config)
         self.policy = policy
         self.name = policy.name
+        self.topology_hook: Optional[Callable[[SubstrateTopology], None]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -499,6 +532,9 @@ class QueueingFabric(Fabric):
             )
 
         switch.on_drop = on_drop
+
+        if self.topology_hook is not None:
+            self.topology_hook(SubstrateTopology(ctx=ctx, switch=switch, hosts=hosts))
 
         sim.schedule_batch(
             (

@@ -123,6 +123,20 @@ def frame_wire_bytes(payload_len: int) -> int:
     return PREAMBLE_BYTES + frame + INTER_FRAME_GAP_BYTES
 
 
+def message_wire_bytes(size_bytes: int) -> int:
+    """Total wire footprint of a ``size_bytes`` message segmented at MTU.
+
+    Full frames plus one short tail frame, each with preamble/IFG
+    overhead — the conventional-MAC cost workload generators use to
+    calibrate offered load.
+    """
+    full, rem = divmod(size_bytes, MTU_PAYLOAD_BYTES)
+    wire = full * frame_wire_bytes(MTU_PAYLOAD_BYTES)
+    if rem:
+        wire += frame_wire_bytes(rem)
+    return wire
+
+
 def frames_needed(payload_len: int, mtu_payload: int = MTU_PAYLOAD_BYTES) -> int:
     """Frames needed to carry ``payload_len`` bytes at a given MTU."""
     if payload_len <= 0:

@@ -1,0 +1,39 @@
+"""Scenario engine: declarative fabric × workload × fault sweeps.
+
+Importing this package registers the ``scenarios`` experiment with the
+parallel runner's registry (via :mod:`repro.scenarios.engine`).
+"""
+
+from repro.scenarios.catalog import SCENARIOS, scenario_by_name, scenario_names
+from repro.scenarios.engine import (
+    build_messages,
+    check_conservation,
+    format_scenario_list,
+    format_scenario_results,
+    run_scenario,
+)
+from repro.scenarios.faults import FaultInjector
+from repro.scenarios.spec import (
+    FAULT_KINDS,
+    FaultSpec,
+    ScenarioSpec,
+    WORKLOAD_KINDS,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
+    "build_messages",
+    "check_conservation",
+    "format_scenario_list",
+    "format_scenario_results",
+    "run_scenario",
+    "scenario_by_name",
+    "scenario_names",
+]

@@ -46,9 +46,38 @@ class Link(Process):
         self._queue: Deque[Tuple[Any, int]] = deque()
         self.bytes_sent = 0
         self.busy_until = 0.0
+        self.rate_factor = 1.0
 
     def connect(self, receiver: Receiver) -> None:
         self.receiver = receiver
+
+    # -- fault-injection hooks (scenario engine) ------------------------- #
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale the effective rate (degraded-bandwidth fault windows).
+
+        The factor applies to payloads *handed to* :meth:`send` while it
+        is in force — serialization cost is computed at send time, so a
+        frame already accepted (even one still queued behind the
+        transmitter) keeps the rate it was accepted at.  Fabric switches
+        hand the link one frame at a time as the wire frees up, so for
+        them send time and transmit-start time coincide.
+        """
+        if factor <= 0:
+            raise SimulationError(f"rate factor must be positive, got {factor}")
+        self.rate_factor = factor
+
+    def block_until(self, time: float) -> None:
+        """Model a link outage: no new transmission starts before ``time``.
+
+        Sends during the outage queue behind it (the lossless-buffered
+        model — frames wait in the transmitter, nothing is dropped), so
+        traffic resumes in order when the window ends.  Frames already in
+        flight still arrive: the outage kills the transmitter, not the
+        photons on the fibre.
+        """
+        if time > self._tx_free_at:
+            self._tx_free_at = time
 
     @property
     def queue_depth(self) -> int:
@@ -64,7 +93,7 @@ class Link(Process):
         if size_bytes <= 0:
             raise SimulationError(f"payload size must be positive, got {size_bytes}")
         start = max(self.now, self._tx_free_at)
-        tx_delay = size_bytes * 8.0 / self.bandwidth
+        tx_delay = size_bytes * 8.0 / (self.bandwidth * self.rate_factor)
         finish = start + tx_delay
         self._tx_free_at = finish
         self.busy_until = finish

@@ -11,6 +11,12 @@ from repro.workloads.distributions import (
     app_cdf,
     fixed_size,
 )
+from repro.workloads.shapes import (
+    IncastSpec,
+    ShuffleSpec,
+    generate_incast,
+    generate_shuffle,
+)
 from repro.workloads.synthetic import SyntheticSpec, generate, microbenchmark
 from repro.workloads.traces import TraceSpec, all_apps, generate_trace
 from repro.workloads.ycsb import (
@@ -32,8 +38,10 @@ __all__ = [
     "APP_CDFS",
     "GRAPHLAB",
     "HADOOP_SORT",
+    "IncastSpec",
     "MEMCACHED",
     "OpType",
+    "ShuffleSpec",
     "READ_VALUE_BYTES",
     "SPARK_SORT",
     "SPARK_SQL",
@@ -52,7 +60,9 @@ __all__ = [
     "app_cdf",
     "fixed_size",
     "generate",
+    "generate_incast",
     "generate_ops",
+    "generate_shuffle",
     "generate_trace",
     "microbenchmark",
     "workload_by_name",

@@ -1,0 +1,178 @@
+"""Structured workload shapes: incast storms and all-to-all shuffles.
+
+The synthetic generator (:mod:`repro.workloads.synthetic`) mixes a smooth
+Poisson background with occasional incast events.  The scenario engine
+also needs the two *pure* shapes disaggregated applications are known
+for:
+
+* **Incast** — repeated synchronized fan-in: ``degree`` sources hit one
+  victim at the same instant, event after event.  This is the §2.4
+  stressor for reactive and credit-based fabrics in its undiluted form.
+* **All-to-all shuffle** — the map-reduce/parameter-server exchange:
+  round ``r`` has every node ``i`` send one transfer to node
+  ``(i + r) mod n``, so each round is a perfect permutation and every
+  link carries exactly one flow — until a fault breaks the symmetry.
+
+Both generators assign explicit 0-based uids and return arrival-sorted
+messages, matching the synthetic generator's determinism contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.fabrics.base import OfferedMessage
+from repro.mac.frame import message_wire_bytes
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class IncastSpec:
+    """Parameters of a pure-incast workload.
+
+    Incast events arrive as a Poisson process whose mean gap is sized so
+    the victim's downlink sees ``load`` of its bandwidth *on average*:
+    one event delivers ``degree`` messages that serialize back-to-back,
+    so the gap is their combined drain time divided by the load.  With
+    ``rotate_victims`` the victim walks round-robin over the nodes
+    (spreading the pain); otherwise node 0 absorbs every event.
+    """
+
+    num_nodes: int
+    link_gbps: float
+    load: float
+    message_count: int
+    size_bytes: int = 64
+    degree: int = 8
+    write_fraction: float = 1.0
+    seed: Optional[int] = 0
+    rotate_victims: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 3:
+            raise WorkloadError(f"incast needs >= 3 nodes: {self.num_nodes}")
+        if not 0 < self.load <= 1:
+            raise WorkloadError(f"load must be in (0,1]: {self.load}")
+        if self.message_count <= 0:
+            raise WorkloadError(f"need a positive message count: {self.message_count}")
+        if self.size_bytes <= 0:
+            raise WorkloadError(f"size must be positive: {self.size_bytes}")
+        if self.degree < 2:
+            raise WorkloadError(f"incast degree must be >= 2: {self.degree}")
+        if not 0 <= self.write_fraction <= 1:
+            raise WorkloadError(f"write fraction in [0,1]: {self.write_fraction}")
+
+
+def generate_incast(spec: IncastSpec) -> List[OfferedMessage]:
+    """Repeated synchronized fan-in events onto a (rotating) victim."""
+    rng = make_rng(spec.seed)
+    uids = itertools.count()
+    degree = min(spec.degree, spec.num_nodes - 1)
+    event_drain_ns = (
+        degree * message_wire_bytes(spec.size_bytes) * 8.0 / spec.link_gbps
+    )
+    event_gap_ns = event_drain_ns / spec.load
+    events = -(-spec.message_count // degree)
+    messages: List[OfferedMessage] = []
+    t = 0.0
+    for event in range(events):
+        t += float(rng.exponential(event_gap_ns))
+        if spec.rotate_victims:
+            victim = event % spec.num_nodes
+        else:
+            victim = 0
+        peers = rng.choice(
+            [n for n in range(spec.num_nodes) if n != victim],
+            size=degree, replace=False,
+        )
+        event_is_read = bool(rng.random() >= spec.write_fraction)
+        for peer in peers:
+            if event_is_read:
+                # Fan-out reads: the victim's responses converge on it.
+                messages.append(
+                    OfferedMessage(
+                        src=victim, dst=int(peer), size_bytes=spec.size_bytes,
+                        arrival_ns=t, is_read=True, uid=next(uids),
+                    )
+                )
+            else:
+                # Write incast: many senders hit the victim at once.
+                messages.append(
+                    OfferedMessage(
+                        src=int(peer), dst=victim, size_bytes=spec.size_bytes,
+                        arrival_ns=t, is_read=False, uid=next(uids),
+                    )
+                )
+    messages.sort(key=lambda m: m.arrival_ns)
+    return messages[: spec.message_count]
+
+
+@dataclass(frozen=True)
+class ShuffleSpec:
+    """Parameters of an all-to-all shuffle workload.
+
+    ``rounds`` permutation rounds; round ``r`` (1-based) has node ``i``
+    send to ``(i + r) mod n`` (skipping self, so the stride cycles over
+    ``1..n-1``).  Rounds are spaced so each node offers ``load`` of its
+    uplink: the gap is one transfer's serialization time over the load.
+    ``jitter_ns`` adds a small uniform start skew per sender, modelling
+    compute-phase imbalance; 0 keeps rounds perfectly synchronized.
+    """
+
+    num_nodes: int
+    link_gbps: float
+    load: float
+    rounds: int
+    size_bytes: int = 4096
+    write_fraction: float = 1.0
+    seed: Optional[int] = 0
+    jitter_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise WorkloadError(f"shuffle needs >= 2 nodes: {self.num_nodes}")
+        if not 0 < self.load <= 1:
+            raise WorkloadError(f"load must be in (0,1]: {self.load}")
+        if self.rounds <= 0:
+            raise WorkloadError(f"need a positive round count: {self.rounds}")
+        if self.size_bytes <= 0:
+            raise WorkloadError(f"size must be positive: {self.size_bytes}")
+        if not 0 <= self.write_fraction <= 1:
+            raise WorkloadError(f"write fraction in [0,1]: {self.write_fraction}")
+        if self.jitter_ns < 0:
+            raise WorkloadError(f"jitter must be >= 0: {self.jitter_ns}")
+
+    @property
+    def message_count(self) -> int:
+        return self.rounds * self.num_nodes
+
+
+def generate_shuffle(spec: ShuffleSpec) -> List[OfferedMessage]:
+    """Permutation rounds: every node sends one transfer per round."""
+    rng = make_rng(spec.seed)
+    uids = itertools.count()
+    transfer_ns = message_wire_bytes(spec.size_bytes) * 8.0 / spec.link_gbps
+    round_gap_ns = transfer_ns / spec.load
+    messages: List[OfferedMessage] = []
+    n = spec.num_nodes
+    for r in range(spec.rounds):
+        start = (r + 1) * round_gap_ns
+        stride = (r % (n - 1)) + 1
+        for src in range(n):
+            dst = (src + stride) % n
+            jitter = (
+                float(rng.uniform(0.0, spec.jitter_ns)) if spec.jitter_ns else 0.0
+            )
+            is_read = bool(rng.random() >= spec.write_fraction)
+            messages.append(
+                OfferedMessage(
+                    src=src, dst=dst, size_bytes=spec.size_bytes,
+                    arrival_ns=start + jitter, is_read=is_read,
+                    uid=next(uids),
+                )
+            )
+    messages.sort(key=lambda m: (m.arrival_ns, m.uid))
+    return messages

@@ -65,16 +65,12 @@ def mean_wire_bytes(cdf: SizeCdf) -> float:
     framing (EDM's 66-bit blocks) then enjoy headroom at equal load, which
     is exactly the paper's bandwidth-efficiency argument (Figure 6).
     """
-    from repro.mac.frame import MTU_PAYLOAD_BYTES, frame_wire_bytes
+    from repro.mac.frame import message_wire_bytes
 
     mean = 0.0
     prev = 0.0
     for size, prob in cdf.points:
-        full, rem = divmod(size, MTU_PAYLOAD_BYTES)
-        wire = full * frame_wire_bytes(MTU_PAYLOAD_BYTES)
-        if rem:
-            wire += frame_wire_bytes(rem)
-        mean += wire * (prob - prev)
+        mean += message_wire_bytes(size) * (prob - prev)
         prev = prob
     return mean
 

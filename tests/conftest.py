@@ -16,5 +16,13 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.register_profile("dev", deadline=None)
+# Nightly: randomized and much deeper than the per-PR profiles; flushes
+# out the corner cases derandomized CI exploration cannot reach.
+settings.register_profile(
+    "long",
+    max_examples=1_000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
 
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

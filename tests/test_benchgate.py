@@ -1,0 +1,157 @@
+"""Tests for the CI perf-regression gate over BENCH_kernel payloads."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.errors import BenchmarkError
+from repro.experiments.benchgate import (
+    DEFAULT_TOLERANCE_PCT,
+    gate_failures,
+    gate_report,
+    gate_tolerance_pct,
+)
+
+
+def _payload(calendar=200_000, heap=150_000, nodes=16):
+    return {
+        "schema": 1,
+        "config": {"num_nodes": nodes, "message_count": 4000,
+                   "loads": [0.3, 0.8], "seed": 1, "jobs": 1},
+        "sweep": {
+            "calendar": {"events": 1, "events_per_s": calendar},
+            "heap": {"events": 1, "events_per_s": heap},
+        },
+        "kernel_microbench": {
+            "rows": [
+                {"depth": 1000, "calendar_ops_per_s": 900_000,
+                 "heap_ops_per_s": 400_000, "speedup": 2.25},
+            ]
+        },
+    }
+
+
+class TestTolerance:
+    def test_default(self):
+        assert gate_tolerance_pct() == DEFAULT_TOLERANCE_PCT == 30.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE_PCT", "12.5")
+        assert gate_tolerance_pct() == 12.5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE_PCT", "12.5")
+        assert gate_tolerance_pct(40.0) == 40.0
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, 100.0])
+    def test_out_of_range(self, bad):
+        with pytest.raises(BenchmarkError):
+            gate_tolerance_pct(bad)
+
+    def test_malformed_env_is_a_clean_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE_PCT", "30%")
+        with pytest.raises(BenchmarkError, match="not a number"):
+            gate_tolerance_pct()
+
+
+class TestGate:
+    def test_identical_payloads_pass(self):
+        assert gate_failures(_payload(), _payload()) == []
+
+    def test_injected_regression_fails(self):
+        # The acceptance scenario: >30% events/sec drop must fail.
+        slow = _payload(calendar=int(200_000 * 0.65))
+        failures = gate_failures(_payload(), slow)
+        assert len(failures) == 1
+        assert "sweep.calendar.events_per_s" in failures[0]
+        assert "35.0% below baseline" in failures[0]
+
+    def test_drop_within_tolerance_passes(self):
+        assert gate_failures(_payload(), _payload(heap=120_000)) == []
+
+    def test_tighter_tolerance_catches_smaller_drops(self):
+        mild = _payload(heap=120_000)  # -20%
+        assert len(gate_failures(_payload(), mild, tolerance_pct=10)) == 1
+
+    def test_improvements_never_fail(self):
+        fast = _payload(calendar=400_000, heap=300_000)
+        assert gate_failures(_payload(), fast) == []
+
+    def test_microbench_reported_but_not_gated(self):
+        slow_micro = _payload()
+        slow_micro["kernel_microbench"]["rows"][0]["calendar_ops_per_s"] = 1
+        assert gate_failures(_payload(), slow_micro) == []
+        report = gate_report(_payload(), slow_micro)
+        assert "microbench.depth1000.calendar_ops_per_s" in report
+
+    def test_config_mismatch_refuses(self):
+        with pytest.raises(BenchmarkError, match="configs differ"):
+            gate_failures(_payload(), _payload(nodes=8))
+
+    def test_jobs_difference_is_exempt(self):
+        other = _payload()
+        other["config"]["jobs"] = 8
+        assert gate_failures(_payload(), other) == []
+
+    def test_empty_baseline_refuses(self):
+        with pytest.raises(BenchmarkError, match="no throughput series"):
+            gate_failures({"sweep": {}}, _payload())
+
+    def test_missing_gated_series_fails(self):
+        partial = copy.deepcopy(_payload())
+        del partial["sweep"]["heap"]
+        failures = gate_failures(_payload(), partial)
+        assert len(failures) == 1
+        assert "missing or zero" in failures[0]
+
+    def test_zero_gated_series_fails(self):
+        failures = gate_failures(_payload(), _payload(calendar=0))
+        assert len(failures) == 1
+        assert "sweep.calendar" in failures[0]
+
+    def test_new_series_in_current_only_is_skipped(self):
+        grown = copy.deepcopy(_payload())
+        grown["sweep"]["wheel"] = {"events": 1, "events_per_s": 1}
+        assert gate_failures(_payload(), grown) == []
+
+
+class TestCliGate:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_cli_passes_on_identical(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", _payload())
+        cur = self._write(tmp_path / "cur.json", _payload())
+        main(["bench-gate", "--baseline", base, "--current", cur])
+        assert "bench gate: PASS" in capsys.readouterr().out
+
+    def test_cli_exits_nonzero_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", _payload())
+        cur = self._write(
+            tmp_path / "cur.json", _payload(calendar=100_000)
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench-gate", "--baseline", base, "--current", cur])
+        assert excinfo.value.code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+
+    def test_cli_tolerance_flag(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _payload())
+        cur = self._write(tmp_path / "cur.json", _payload(heap=120_000))
+        main(["bench-gate", "--baseline", base, "--current", cur,
+              "--tolerance", "50"])  # -20% passes at 50%
+        with pytest.raises(SystemExit):
+            main(["bench-gate", "--baseline", base, "--current", cur,
+                  "--tolerance", "5"])
+
+    def test_committed_baseline_passes_against_itself(self, capsys):
+        committed = str(
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+        )
+        main(["bench-gate", "--baseline", committed, "--current", committed])
+        assert "bench gate: PASS" in capsys.readouterr().out
