@@ -13,7 +13,9 @@ from repro.experiments import run_figure6, run_figure7
 from repro.fabrics.base import ClusterConfig
 from repro.fabrics.edm import EdmCluster
 from repro.memctrl.dram import DramTiming
-from repro.workloads.ycsb import OpType, WORKLOAD_A, generate_ops
+from repro.workloads.api import workload_from_spec
+from repro.workloads.streaming import YcsbSpec
+from repro.workloads.ycsb import OpType
 
 
 def main() -> None:
@@ -25,7 +27,8 @@ def main() -> None:
     )
     store = RemoteKvStore(cluster, compute_node=0, memory_node=1, capacity=256)
 
-    ops = generate_ops(WORKLOAD_A, count=200, keyspace=256, seed=7)
+    spec = YcsbSpec(workload="A", message_count=200, keyspace=256, seed=7)
+    ops = workload_from_spec(spec).materialize()
     latencies = []
 
     def issue(index: int = 0) -> None:

@@ -17,7 +17,7 @@ Two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.clock import LOCAL_DRAM_LATENCY_NS, transmission_delay_ns
 from repro.core.opcodes import RmwOpcode
@@ -88,6 +88,24 @@ class RemoteKvStore:
         """Write a value; completes when the data lands in remote DRAM."""
         self.puts += 1
         self.compute.write(self.memory_node, self._address(key), value_bytes, on_complete)
+
+    def read_modify_write(
+        self,
+        key: int,
+        on_complete: Callable[[Completion], None],
+        read_bytes: int = READ_VALUE_BYTES,
+        write_bytes: int = WRITE_VALUE_BYTES,
+    ) -> None:
+        """YCSB-F's RMW: GET the value, then PUT the modified copy.
+
+        The PUT is issued only when the GET completes — the two legs
+        serialize exactly as a closed-loop client would experience them —
+        and ``on_complete`` fires once, with the PUT's completion.
+        """
+        def then_put(completion: Completion) -> None:
+            self.put(key, on_complete, value_bytes=write_bytes)
+
+        self.get(key, then_put, value_bytes=read_bytes)
 
     def compare_and_swap(
         self,

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli figure8a --nodes 24 --messages 8000 --loads 0.2,0.8 --jobs 4
     python -m repro.cli figure8b --nodes 12 --messages 1200 --apps memcached
     python -m repro.cli run figure8a --jobs 4 --out results
+    python -m repro.cli run serving --profiles steady_ab --ops-per-client 200
     python -m repro.cli run --list
     python -m repro.cli scenario list
     python -m repro.cli scenario run --jobs 4
@@ -143,6 +144,8 @@ _RUN_FLAG_DEFAULTS = {
     "apps": "",
     "fabrics": "",
     "families": "",
+    "profiles": "",
+    "ops_per_client": 0,
     "kernel": DEFAULT_KERNEL,
 }
 
@@ -184,7 +187,8 @@ def _grid_summary(name: str) -> str:
     for key, label in (
         ("app", "apps"), ("workload", "workloads"),
         ("family", "families"), ("write_parts", "mixes"),
-        ("local", "splits"),
+        ("local", "splits"), ("profile", "profiles"),
+        ("scenario", "scenarios"),
     ):
         values = extras.get(key, ())
         if len(values) > 1:
@@ -213,7 +217,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         args.nodes = args.nodes or 24
         args.messages = args.messages or 8000
         args.seed = 1 if args.seed is None else args.seed
-        _warn_ignored_flags(name, args, ("families",))
+        _warn_ignored_flags(name, args, ("families", "profiles", "ops_per_client"))
         options = _figure8a_options(args)
         if name == "figure8a_mix":
             options = {"scale": options["scale"]}
@@ -221,13 +225,27 @@ def _cmd_run(args: argparse.Namespace) -> None:
         args.nodes = args.nodes or 12
         args.messages = args.messages or 1200
         args.seed = 1 if args.seed is None else args.seed
-        _warn_ignored_flags(name, args, ("loads", "families"))
+        _warn_ignored_flags(
+            name, args, ("loads", "families", "profiles", "ops_per_client")
+        )
         options = _figure8b_options(args)
     elif name == "scenarios":
-        _warn_ignored_flags(name, args, ("loads", "apps", "fabrics", "families"))
+        _warn_ignored_flags(
+            name, args,
+            ("loads", "apps", "fabrics", "families", "profiles", "ops_per_client"),
+        )
         options = _scenario_options(args)
+    elif name == "serving":
+        _warn_ignored_flags(
+            name, args,
+            ("loads", "apps", "fabrics", "families", "messages"),
+        )
+        options = _serving_options(args)
     elif name == "ablations":
-        _warn_ignored_flags(name, args, ("loads", "apps", "fabrics"))
+        _warn_ignored_flags(
+            name, args,
+            ("loads", "apps", "fabrics", "profiles", "ops_per_client"),
+        )
         options = {
             "num_nodes": args.nodes or 16,
             # Canonical ablation seed is 3 (what the benchmarks use).
@@ -243,7 +261,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             name, args,
             (
                 "nodes", "messages", "seed", "loads", "apps", "fabrics",
-                "families", "kernel",
+                "families", "profiles", "ops_per_client", "kernel",
             ),
         )
         options = {}
@@ -254,6 +272,11 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
         print(format_scenario_results(reduced))
         return
+    if name == "serving":
+        from repro.experiments.serving import format_serving_results
+
+        print(format_serving_results(reduced))
+        return
     if isinstance(reduced, dict) and all(
         isinstance(v, dict) for v in reduced.values()
     ):
@@ -261,6 +284,22 @@ def _cmd_run(args: argparse.Namespace) -> None:
     else:
         print(f"{name} ({result.jobs} jobs):")
         print(reduced)
+
+
+def _serving_options(args: argparse.Namespace) -> Dict[str, Any]:
+    """Scale overrides for the serving experiment (0/None = spec value)."""
+    options: Dict[str, Any] = {}
+    if args.profiles:
+        options["profiles"] = args.profiles.split(",")
+    if args.seed is not None:
+        options["seed"] = args.seed
+    if args.ops_per_client:
+        options["ops_per_client"] = args.ops_per_client
+    if args.nodes:
+        options["num_nodes"] = args.nodes
+    if args.kernel != DEFAULT_KERNEL:
+        options["kernel"] = args.kernel
+    return options
 
 
 def _scenario_options(args: argparse.Namespace) -> Dict[str, Any]:
@@ -419,6 +458,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--families", type=str, default="",
         help="ablations: comma-separated families",
+    )
+    run.add_argument(
+        "--profiles", type=str, default="",
+        help="serving: comma-separated profile names (default: the catalog)",
+    )
+    run.add_argument(
+        "--ops-per-client", type=int, default=0,
+        help="serving: override every profile's per-client op budget",
     )
     _add_runner_args(run)
     run.set_defaults(fn=_cmd_run)

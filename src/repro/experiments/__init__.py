@@ -31,6 +31,11 @@ from repro.experiments.figures import (
     summarize_shape_checks,
 )
 from repro.experiments.ablations import FAMILIES, run_ablations
+from repro.experiments.serving import (
+    format_serving_results,
+    serving_profile,
+    serving_profiles,
+)
 from repro.experiments.benchgate import (
     DEFAULT_TOLERANCE_PCT,
     gate_failures,
@@ -62,6 +67,9 @@ __all__ = [
     "experiment_names",
     "format_grid",
     "format_kernel_bench",
+    "format_serving_results",
+    "serving_profile",
+    "serving_profiles",
     "kernel_microbench",
     "run_kernel_bench",
     "write_kernel_bench",

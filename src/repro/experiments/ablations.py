@@ -25,7 +25,8 @@ from repro.experiments.runner import Cell, ExperimentSpec, Runner, make_cell, re
 from repro.fabrics.base import ClusterConfig
 from repro.fabrics.edm import EdmFabric
 from repro.workloads.distributions import HADOOP_SORT, fixed_size
-from repro.workloads.synthetic import SyntheticSpec, generate
+from repro.workloads.api import workload_from_spec
+from repro.workloads.synthetic import SyntheticSpec
 
 FAMILIES = (
     "chunk",
@@ -185,7 +186,7 @@ def run_ablation_cell(cell: Cell) -> float:
         seed=cell.seed,
         incast_fraction=cell.param("incast_fraction", 0.0),
     )
-    messages = generate(spec)
+    messages = workload_from_spec(spec).materialize()
     result = fabric.run_with_baselines(
         messages, deadline_ns=cell.param("deadline_ns")
     )

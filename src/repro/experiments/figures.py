@@ -35,8 +35,9 @@ from repro.experiments.runner import (
     register,
 )
 from repro.workloads.distributions import fixed_size
-from repro.workloads.synthetic import SyntheticSpec, generate
-from repro.workloads.traces import TraceSpec, all_apps, generate_trace
+from repro.workloads.api import workload_from_spec
+from repro.workloads.synthetic import SyntheticSpec
+from repro.workloads.traces import TraceSpec, all_apps
 from repro.workloads.ycsb import WORKLOADS
 
 # --------------------------------------------------------------------------- #
@@ -254,7 +255,7 @@ def _synthetic_messages(cell: Cell, write_fraction: float) -> List[OfferedMessag
         seed=cell.seed,
         incast_fraction=0.0,
     )
-    return generate(spec)
+    return workload_from_spec(spec).materialize()
 
 
 def _run_point(
@@ -449,7 +450,7 @@ def _figure8b_cells(
 
 
 def _figure8b_cell(cell: Cell) -> float:
-    trace = generate_trace(
+    trace = workload_from_spec(
         TraceSpec(
             app=cell.param("app"),
             num_nodes=cell.param("num_nodes"),
@@ -458,7 +459,7 @@ def _figure8b_cell(cell: Cell) -> float:
             message_count=cell.param("message_count"),
             seed=cell.seed,
         )
-    )
+    ).materialize()
     fabric = fabric_by_name(cell.fabric, _cluster_config(cell))
     result = fabric.run(trace, deadline_ns=cell.param("deadline_ns"))
     return result.mean_normalized_mct(_calibrate_ideal(fabric))

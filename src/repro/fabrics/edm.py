@@ -71,6 +71,11 @@ class EdmCluster:
         )
         timing = dram_timing if dram_timing is not None else DramTiming()
         self.nics: Dict[int, EdmHostNic] = {}
+        # Per-node links, exposed so fault injectors (scenarios, serving)
+        # can block or degrade them by node id, mirroring the queueing
+        # substrate's SubstrateTopology surface.
+        self.uplinks: Dict[int, Link] = {}
+        self.downlinks: Dict[int, Link] = {}
         for node in range(config.num_nodes):
             nic = EdmHostNic(self.ctx, node, self.router, host_config)
             nic.attach_memory(MemoryController(memory_bytes, timing))
@@ -85,6 +90,8 @@ class EdmCluster:
             nic.attach_uplink(uplink)
             self.switch.attach_port(node, downlink)
             self.nics[node] = nic
+            self.uplinks[node] = uplink
+            self.downlinks[node] = downlink
 
     def nic(self, node: int) -> EdmHostNic:
         try:
@@ -121,7 +128,7 @@ class EdmFabric(Fabric):
 
     def run(
         self,
-        messages: List[OfferedMessage],
+        messages,
         *,
         deadline_ns: Optional[float] = None,
     ) -> FabricResult:
@@ -152,16 +159,29 @@ class EdmFabric(Fabric):
             else:
                 nic.write(message.dst, address, message.size_bytes, on_complete)
 
-        ctx.sim.schedule_batch(
-            (
-                (m.arrival_ns, lambda m=m: launch(m))
-                for m in sorted(messages, key=lambda m: m.arrival_ns)
-            ),
-            absolute=True,
-        )
-        ctx.sim.run(until=deadline_ns)
-        result.incomplete = len(messages) - len(result.records)
-        ctx.stats.incr("messages_offered", len(messages))
+        if isinstance(messages, (list, tuple)):
+            ctx.sim.schedule_batch(
+                (
+                    (m.arrival_ns, lambda m=m: launch(m))
+                    for m in sorted(messages, key=lambda m: m.arrival_ns)
+                ),
+                absolute=True,
+            )
+            ctx.sim.run(until=deadline_ns)
+            offered = len(messages)
+        else:
+            # A streaming Workload (or any time-ordered iterable): inject
+            # lazily through the kernel, one chunk of arrivals at a time,
+            # so resident memory stays O(1) in message count.  The
+            # feeder's deterministic seq ordering keeps the event order
+            # identical to the materialized batch path.
+            from repro.workloads.api import WorkloadFeeder
+
+            feeder = WorkloadFeeder(ctx.sim, messages, launch).start()
+            ctx.sim.run(until=deadline_ns)
+            offered = feeder.fed
+        result.incomplete = offered - len(result.records)
+        ctx.stats.incr("messages_offered", offered)
         ctx.stats.incr("sim_events", ctx.sim.events_processed)
         result.stats = ctx.stats.to_dict()
         return result

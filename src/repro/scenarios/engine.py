@@ -30,70 +30,71 @@ from repro.experiments.runner import (
     make_cell,
     register,
 )
+from repro.workloads.api import workload_from_spec
 from repro.workloads.distributions import fixed_size
-from repro.workloads.shapes import (
-    IncastSpec,
-    ShuffleSpec,
-    generate_incast,
-    generate_shuffle,
-)
-from repro.workloads.synthetic import SyntheticSpec, generate
-from repro.workloads.traces import TraceSpec, generate_trace
+from repro.workloads.shapes import IncastSpec, ShuffleSpec
+from repro.workloads.synthetic import SyntheticSpec
+from repro.workloads.traces import TraceSpec
 
 
-def build_messages(spec: ScenarioSpec):
-    """Generate the offered workload for one scenario."""
+def _workload_spec(spec: ScenarioSpec):
+    """Map a scenario's WorkloadSpec onto a concrete workload spec."""
     w: WorkloadSpec = spec.workload
     if w.kind == "synthetic":
-        return generate(
-            SyntheticSpec(
-                num_nodes=spec.num_nodes,
-                link_gbps=spec.link_gbps,
-                load=w.load,
-                message_count=w.message_count,
-                size_cdf=fixed_size(w.size_bytes),
-                write_fraction=w.write_fraction,
-                seed=spec.seed,
-            )
+        return SyntheticSpec(
+            num_nodes=spec.num_nodes,
+            link_gbps=spec.link_gbps,
+            load=w.load,
+            message_count=w.message_count,
+            size_cdf=fixed_size(w.size_bytes),
+            write_fraction=w.write_fraction,
+            seed=spec.seed,
         )
     if w.kind == "incast":
-        return generate_incast(
-            IncastSpec(
-                num_nodes=spec.num_nodes,
-                link_gbps=spec.link_gbps,
-                load=w.load,
-                message_count=w.message_count,
-                size_bytes=w.size_bytes,
-                degree=w.degree,
-                write_fraction=w.write_fraction,
-                seed=spec.seed,
-            )
+        return IncastSpec(
+            num_nodes=spec.num_nodes,
+            link_gbps=spec.link_gbps,
+            load=w.load,
+            message_count=w.message_count,
+            size_bytes=w.size_bytes,
+            degree=w.degree,
+            write_fraction=w.write_fraction,
+            seed=spec.seed,
         )
     if w.kind == "shuffle":
         rounds = w.rounds
         if rounds <= 0 or rounds * spec.num_nodes < w.message_count:
             rounds = max(1, -(-w.message_count // spec.num_nodes))
-        return generate_shuffle(
-            ShuffleSpec(
-                num_nodes=spec.num_nodes,
-                link_gbps=spec.link_gbps,
-                load=w.load,
-                rounds=rounds,
-                size_bytes=w.size_bytes,
-                write_fraction=w.write_fraction,
-                seed=spec.seed,
-            )
-        )[: w.message_count]
-    return generate_trace(
-        TraceSpec(
-            app=w.app,
+        return ShuffleSpec(
             num_nodes=spec.num_nodes,
             link_gbps=spec.link_gbps,
             load=w.load,
-            message_count=w.message_count,
+            rounds=rounds,
+            size_bytes=w.size_bytes,
+            write_fraction=w.write_fraction,
             seed=spec.seed,
         )
+    return TraceSpec(
+        app=w.app,
+        num_nodes=spec.num_nodes,
+        link_gbps=spec.link_gbps,
+        load=w.load,
+        message_count=w.message_count,
+        seed=spec.seed,
     )
+
+
+def build_messages(spec: ScenarioSpec):
+    """Generate the offered workload for one scenario.
+
+    Materializes here (rather than streaming) because relative fault
+    times resolve against the offered arrival span, which needs the full
+    list up front.
+    """
+    messages = workload_from_spec(_workload_spec(spec)).materialize()
+    # Shuffle rounds are derived, so over-generation is possible; clamp
+    # to the scenario's requested count.
+    return messages[: spec.workload.message_count]
 
 
 def run_scenario(spec: ScenarioSpec) -> Dict[str, object]:

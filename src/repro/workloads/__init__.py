@@ -1,5 +1,31 @@
-"""Workload generators: synthetic all-to-all, YCSB, and app traces."""
+"""Workload generators behind one streaming :class:`Workload` protocol.
 
+Build any workload from its spec with :func:`workload_from_spec` and
+consume ``.arrivals()`` lazily::
+
+    from repro.workloads import SyntheticSpec, workload_from_spec
+
+    stream = workload_from_spec(SyntheticSpec(...))
+    for message in stream.arrivals():
+        ...
+
+The legacy ``generate*`` free functions survive as deprecated
+materializing shims; see the README's migration guide.
+"""
+
+# The streaming protocol and spec registry (the supported API).
+from repro.workloads.api import (
+    ArrivalProcess,
+    RATE_SHAPES,
+    RateShape,
+    Workload,
+    WorkloadFeeder,
+    materialize,
+    register_workload,
+    substream,
+    workload_from_spec,
+    workload_kinds,
+)
 from repro.workloads.distributions import (
     APP_CDFS,
     GRAPHLAB,
@@ -17,8 +43,21 @@ from repro.workloads.shapes import (
     generate_incast,
     generate_shuffle,
 )
-from repro.workloads.synthetic import SyntheticSpec, generate, microbenchmark
-from repro.workloads.traces import TraceSpec, all_apps, generate_trace
+from repro.workloads.streaming import (
+    IncastWorkload,
+    ShuffleWorkload,
+    SyntheticWorkload,
+    TraceWorkload,
+    YcsbOpsWorkload,
+    YcsbSpec,
+)
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    generate,
+    mean_wire_bytes,
+    microbenchmark,
+)
+from repro.workloads.traces import TraceSpec, all_apps, generate_trace, validate_app
 from repro.workloads.ycsb import (
     READ_VALUE_BYTES,
     WORKLOAD_A,
@@ -35,19 +74,43 @@ from repro.workloads.ycsb import (
 )
 
 __all__ = [
+    # Streaming protocol + registry
+    "ArrivalProcess",
+    "RATE_SHAPES",
+    "RateShape",
+    "Workload",
+    "WorkloadFeeder",
+    "materialize",
+    "register_workload",
+    "substream",
+    "workload_from_spec",
+    "workload_kinds",
+    # Specs
+    "IncastSpec",
+    "ShuffleSpec",
+    "SyntheticSpec",
+    "TraceSpec",
+    "YcsbSpec",
+    # Streaming workload families
+    "IncastWorkload",
+    "ShuffleWorkload",
+    "SyntheticWorkload",
+    "TraceWorkload",
+    "YcsbOpsWorkload",
+    # Size distributions
     "APP_CDFS",
     "GRAPHLAB",
     "HADOOP_SORT",
-    "IncastSpec",
     "MEMCACHED",
-    "OpType",
-    "ShuffleSpec",
-    "READ_VALUE_BYTES",
     "SPARK_SORT",
     "SPARK_SQL",
     "SizeCdf",
-    "SyntheticSpec",
-    "TraceSpec",
+    "app_cdf",
+    "fixed_size",
+    "mean_wire_bytes",
+    # YCSB mixes and ops
+    "OpType",
+    "READ_VALUE_BYTES",
     "WORKLOADS",
     "WORKLOAD_A",
     "WORKLOAD_B",
@@ -56,14 +119,16 @@ __all__ = [
     "YcsbOp",
     "YcsbWorkload",
     "ZipfianKeyChooser",
+    "workload_by_name",
+    # Trace helpers
     "all_apps",
-    "app_cdf",
-    "fixed_size",
+    "validate_app",
+    # Non-deprecated convenience
+    "microbenchmark",
+    # Deprecated shims (to be removed two releases after this one)
     "generate",
     "generate_incast",
     "generate_ops",
     "generate_shuffle",
     "generate_trace",
-    "microbenchmark",
-    "workload_by_name",
 ]

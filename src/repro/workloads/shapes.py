@@ -13,20 +13,20 @@ for:
   ``(i + r) mod n``, so each round is a perfect permutation and every
   link carries exactly one flow — until a fault breaks the symmetry.
 
-Both generators assign explicit 0-based uids and return arrival-sorted
-messages, matching the synthetic generator's determinism contract.
+Both families stream through :mod:`repro.workloads.streaming` with
+explicit 0-based uids in arrival order, matching the synthetic stream's
+determinism contract; the ``generate_*`` functions below are deprecated
+materializing shims.
 """
 
 from __future__ import annotations
 
-import itertools
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import WorkloadError
 from repro.fabrics.base import OfferedMessage
-from repro.mac.frame import message_wire_bytes
-from repro.sim.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -67,47 +67,22 @@ class IncastSpec:
 
 
 def generate_incast(spec: IncastSpec) -> List[OfferedMessage]:
-    """Repeated synchronized fan-in events onto a (rotating) victim."""
-    rng = make_rng(spec.seed)
-    uids = itertools.count()
-    degree = min(spec.degree, spec.num_nodes - 1)
-    event_drain_ns = (
-        degree * message_wire_bytes(spec.size_bytes) * 8.0 / spec.link_gbps
+    """Deprecated: materialize the incast stream as a list.
+
+    .. deprecated::
+        Use ``workload_from_spec(spec)`` and consume ``.arrivals()``
+        lazily.  The stream reproduces this function's historical output
+        bit-for-bit seed-for-seed.
+    """
+    warnings.warn(
+        "generate_incast() is deprecated; build the stream with "
+        "workload_from_spec(spec) and iterate .arrivals()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    event_gap_ns = event_drain_ns / spec.load
-    events = -(-spec.message_count // degree)
-    messages: List[OfferedMessage] = []
-    t = 0.0
-    for event in range(events):
-        t += float(rng.exponential(event_gap_ns))
-        if spec.rotate_victims:
-            victim = event % spec.num_nodes
-        else:
-            victim = 0
-        peers = rng.choice(
-            [n for n in range(spec.num_nodes) if n != victim],
-            size=degree, replace=False,
-        )
-        event_is_read = bool(rng.random() >= spec.write_fraction)
-        for peer in peers:
-            if event_is_read:
-                # Fan-out reads: the victim's responses converge on it.
-                messages.append(
-                    OfferedMessage(
-                        src=victim, dst=int(peer), size_bytes=spec.size_bytes,
-                        arrival_ns=t, is_read=True, uid=next(uids),
-                    )
-                )
-            else:
-                # Write incast: many senders hit the victim at once.
-                messages.append(
-                    OfferedMessage(
-                        src=int(peer), dst=victim, size_bytes=spec.size_bytes,
-                        arrival_ns=t, is_read=False, uid=next(uids),
-                    )
-                )
-    messages.sort(key=lambda m: m.arrival_ns)
-    return messages[: spec.message_count]
+    from repro.workloads.api import workload_from_spec
+
+    return workload_from_spec(spec).materialize()
 
 
 @dataclass(frozen=True)
@@ -151,28 +126,19 @@ class ShuffleSpec:
 
 
 def generate_shuffle(spec: ShuffleSpec) -> List[OfferedMessage]:
-    """Permutation rounds: every node sends one transfer per round."""
-    rng = make_rng(spec.seed)
-    uids = itertools.count()
-    transfer_ns = message_wire_bytes(spec.size_bytes) * 8.0 / spec.link_gbps
-    round_gap_ns = transfer_ns / spec.load
-    messages: List[OfferedMessage] = []
-    n = spec.num_nodes
-    for r in range(spec.rounds):
-        start = (r + 1) * round_gap_ns
-        stride = (r % (n - 1)) + 1
-        for src in range(n):
-            dst = (src + stride) % n
-            jitter = (
-                float(rng.uniform(0.0, spec.jitter_ns)) if spec.jitter_ns else 0.0
-            )
-            is_read = bool(rng.random() >= spec.write_fraction)
-            messages.append(
-                OfferedMessage(
-                    src=src, dst=dst, size_bytes=spec.size_bytes,
-                    arrival_ns=start + jitter, is_read=is_read,
-                    uid=next(uids),
-                )
-            )
-    messages.sort(key=lambda m: (m.arrival_ns, m.uid))
-    return messages
+    """Deprecated: materialize the shuffle stream as a list.
+
+    .. deprecated::
+        Use ``workload_from_spec(spec)`` and consume ``.arrivals()``
+        lazily.  The stream reproduces this function's historical output
+        bit-for-bit seed-for-seed.
+    """
+    warnings.warn(
+        "generate_shuffle() is deprecated; build the stream with "
+        "workload_from_spec(spec) and iterate .arrivals()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.workloads.api import workload_from_spec
+
+    return workload_from_spec(spec).materialize()

@@ -1,22 +1,27 @@
-"""Synthetic all-to-all workload generator (§4.3.1's microbenchmark).
+"""Synthetic all-to-all workload spec (§4.3.1's microbenchmark).
 
 Generates Poisson arrivals of remote reads and writes between uniformly
 random node pairs at a target per-node *offered load* — the fraction of
 each node's link bandwidth consumed by memory-message payloads.  The §4.3
 microbenchmark uses 64 B reads/writes (8 B RREQ) at loads 0.2–0.9, plus
 mixed write:read ratios at load 0.8.
+
+This module owns the spec and sizing math; the arrival stream itself is
+:class:`repro.workloads.streaming.SyntheticWorkload`, reached through
+``workload_from_spec(spec)``.  The old ``generate()`` entry point remains
+as a deprecated shim that materializes the stream (and with it, the old
+unbounded ``lru_cache`` memoization is gone — streams cost O(1) memory,
+so there is nothing worth pinning).
 """
 
 from __future__ import annotations
 
-import functools
-import itertools
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import WorkloadError
 from repro.fabrics.base import OfferedMessage
-from repro.sim.rng import make_rng
 from repro.workloads.distributions import SizeCdf, fixed_size
 
 
@@ -75,104 +80,26 @@ def mean_wire_bytes(cdf: SizeCdf) -> float:
     return mean
 
 
-@functools.lru_cache(maxsize=8)
-def _generate_cached(spec: SyntheticSpec) -> "tuple[OfferedMessage, ...]":
-    return tuple(_generate(spec))
-
-
 def generate(spec: SyntheticSpec) -> List[OfferedMessage]:
-    """Generate the workload: per-node Poisson processes, uniform partners.
+    """Deprecated: materialize the synthetic stream as a list.
 
-    A node's mean injection rate is ``load * link_gbps`` wire bits per ns;
-    with mean wire size S bits the per-node inter-arrival mean is
-    ``S / (load * link_gbps)`` ns.
-
-    Results are memoized per spec: an experiment grid offers the *same*
-    workload to every fabric at a given (load, seed), so the sweep would
-    otherwise regenerate it once per fabric.  Messages are frozen, so
-    sharing them across cells is safe.  ``seed=None`` asks for fresh OS
-    entropy, so those specs bypass the cache — every call still gets an
-    independent workload.
+    .. deprecated::
+        Use ``workload_from_spec(spec)`` and consume ``.arrivals()``
+        lazily (or ``.materialize()`` when a list is genuinely needed).
+        A node's mean injection rate is ``load * link_gbps`` wire bits
+        per ns; with mean wire size S bits the per-node inter-arrival
+        mean is ``S / (load * link_gbps)`` ns.
     """
-    if spec.seed is None:
-        return _generate(spec)
-    return list(_generate_cached(spec))
+    warnings.warn(
+        "generate() is deprecated; build the stream with "
+        "workload_from_spec(spec) and iterate .arrivals() "
+        "(or .materialize() for a list)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.workloads.api import workload_from_spec
 
-
-def _generate(spec: SyntheticSpec) -> List[OfferedMessage]:
-    rng = make_rng(spec.seed)
-    mean_bits = mean_wire_bytes(spec.size_cdf) * 8.0
-    messages: List[OfferedMessage] = []
-    # Explicit 0-based uids: the module-level fallback counter in
-    # fabrics.base never resets, so relying on it would give a workload
-    # different uids (and a different EDM address mapping) depending on
-    # how many generate() calls ran earlier in the same process.
-    uids = itertools.count()
-
-    def new_message(src: int, dst: int, t: float) -> OfferedMessage:
-        size = spec.size_cdf.sample(rng)
-        is_read = bool(rng.random() >= spec.write_fraction)
-        return OfferedMessage(
-            src=src, dst=dst, size_bytes=size, arrival_ns=t,
-            is_read=is_read, uid=next(uids),
-        )
-
-    # Smooth component: independent per-source Poisson processes.
-    smooth_count = round(spec.message_count * (1.0 - spec.incast_fraction))
-    per_node = -(-smooth_count // spec.num_nodes)
-    smooth_rate = (1.0 - spec.incast_fraction) * spec.load
-    if smooth_rate > 0 and per_node > 0:
-        per_node_gap_ns = mean_bits / (smooth_rate * spec.link_gbps)
-        for src in range(spec.num_nodes):
-            t = 0.0
-            for _ in range(per_node):
-                t += float(rng.exponential(per_node_gap_ns))
-                dst = int(rng.integers(0, spec.num_nodes - 1))
-                if dst >= src:
-                    dst += 1
-                messages.append(new_message(src, dst, t))
-
-    # Incast component: cluster-level Poisson events, ``incast_degree``
-    # sources hitting one destination simultaneously.
-    incast_count = spec.message_count - smooth_count
-    if incast_count > 0:
-        effective_degree = min(spec.incast_degree, spec.num_nodes - 1)
-        events = -(-incast_count // effective_degree)
-        cluster_rate_bits = (
-            spec.incast_fraction * spec.load * spec.link_gbps * spec.num_nodes
-        )
-        event_gap_ns = spec.incast_degree * mean_bits / cluster_rate_bits
-        t = 0.0
-        for _ in range(events):
-            t += float(rng.exponential(event_gap_ns))
-            victim = int(rng.integers(0, spec.num_nodes))
-            degree = min(spec.incast_degree, spec.num_nodes - 1)
-            peers = rng.choice(
-                [n for n in range(spec.num_nodes) if n != victim],
-                size=degree, replace=False,
-            )
-            event_is_read = bool(rng.random() >= spec.write_fraction)
-            for peer in peers:
-                size = spec.size_cdf.sample(rng)
-                if event_is_read:
-                    # Fan-out reads: the victim's responses converge on it.
-                    messages.append(
-                        OfferedMessage(
-                            src=victim, dst=int(peer), size_bytes=size,
-                            arrival_ns=t, is_read=True, uid=next(uids),
-                        )
-                    )
-                else:
-                    # Write incast: many senders hit the victim at once.
-                    messages.append(
-                        OfferedMessage(
-                            src=int(peer), dst=victim, size_bytes=size,
-                            arrival_ns=t, is_read=False, uid=next(uids),
-                        )
-                    )
-
-    messages.sort(key=lambda m: m.arrival_ns)
-    return messages[: spec.message_count]
+    return workload_from_spec(spec).materialize()
 
 
 def microbenchmark(
@@ -185,6 +112,8 @@ def microbenchmark(
     seed: Optional[int] = 0,
 ) -> List[OfferedMessage]:
     """The §4.3.1 workload: fixed 64 B reads/writes at a given load."""
+    from repro.workloads.api import workload_from_spec
+
     spec = SyntheticSpec(
         num_nodes=num_nodes,
         link_gbps=link_gbps,
@@ -194,4 +123,4 @@ def microbenchmark(
         write_fraction=write_fraction,
         seed=seed,
     )
-    return generate(spec)
+    return workload_from_spec(spec).materialize()

@@ -7,13 +7,12 @@ write mix with heavy-tailed sizes drawn from the per-application CDFs in
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import WorkloadError
 from repro.fabrics.base import OfferedMessage
-from repro.workloads.distributions import app_cdf
-from repro.workloads.synthetic import SyntheticSpec, generate
 
 
 @dataclass(frozen=True)
@@ -29,18 +28,22 @@ class TraceSpec:
 
 
 def generate_trace(spec: TraceSpec) -> List[OfferedMessage]:
-    """A heavy-tailed trace with the paper's equal read/write proportion."""
-    cdf = app_cdf(spec.app)
-    synth = SyntheticSpec(
-        num_nodes=spec.num_nodes,
-        link_gbps=spec.link_gbps,
-        load=spec.load,
-        message_count=spec.message_count,
-        size_cdf=cdf,
-        write_fraction=0.5,   # §4.3.2: reads and writes in equal proportion
-        seed=spec.seed,
+    """Deprecated: materialize the trace stream as a list.
+
+    .. deprecated::
+        Use ``workload_from_spec(spec)`` and consume ``.arrivals()``
+        lazily.  Traces are synthetic traffic under the application's
+        heavy-tailed size CDF with the paper's equal read/write mix.
+    """
+    warnings.warn(
+        "generate_trace() is deprecated; build the stream with "
+        "workload_from_spec(spec) and iterate .arrivals()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return generate(synth)
+    from repro.workloads.api import workload_from_spec
+
+    return workload_from_spec(spec).materialize()
 
 
 def all_apps() -> List[str]:

@@ -11,7 +11,8 @@ request (8 B RREQ) fetches a 1 KB object; each write carries 100 B
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -117,22 +118,27 @@ def generate_ops(
     theta: float = 0.99,
     seed: Optional[int] = 0,
 ) -> List[YcsbOp]:
-    """Generate ``count`` YCSB operations for the given mix."""
-    if count <= 0:
-        raise WorkloadError(f"count must be positive: {count}")
-    rng = make_rng(seed)
-    chooser = ZipfianKeyChooser(keyspace, theta, seed=int(rng.integers(0, 2**31)))
-    ops: List[YcsbOp] = []
-    for _ in range(count):
-        u = rng.random()
-        if u < workload.read_fraction:
-            op = OpType.READ
-        elif u < workload.read_fraction + workload.update_fraction:
-            op = OpType.UPDATE
-        else:
-            op = OpType.READ_MODIFY_WRITE
-        ops.append(YcsbOp(op=op, key=chooser.next_key()))
-    return ops
+    """Deprecated: materialize ``count`` YCSB operations as a list.
+
+    .. deprecated::
+        Use ``workload_from_spec(YcsbSpec(workload=..., ...))`` and
+        consume ``.arrivals()`` lazily.  The stream reproduces this
+        function's historical output bit-for-bit seed-for-seed.
+    """
+    warnings.warn(
+        "generate_ops() is deprecated; build the stream with "
+        "workload_from_spec(YcsbSpec(...)) and iterate .arrivals()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.workloads.api import workload_from_spec
+    from repro.workloads.streaming import YcsbSpec
+
+    spec = YcsbSpec(
+        workload=workload.name, message_count=count,
+        keyspace=keyspace, theta=theta, seed=seed,
+    )
+    return workload_from_spec(spec).materialize()
 
 
 def workload_by_name(name: str) -> YcsbWorkload:

@@ -24,7 +24,8 @@ from repro.scenarios import (
 )
 from repro.sim.context import SimContext
 from repro.sim.link import Link
-from repro.workloads.shapes import IncastSpec, generate_incast
+from repro.workloads.api import workload_from_spec
+from repro.workloads.shapes import IncastSpec
 
 ORPHANS = ("PFC", "DCTCP", "pFabric", "CXL")
 
@@ -32,12 +33,12 @@ CONFIG = ClusterConfig(num_nodes=6, seed=3)
 
 
 def _incast(count=150, seed=3):
-    return generate_incast(
+    return workload_from_spec(
         IncastSpec(
             num_nodes=CONFIG.num_nodes, link_gbps=CONFIG.link_gbps,
             load=0.6, message_count=count, degree=4, seed=seed,
         )
-    )
+    ).materialize()
 
 
 class TestRegistryTags:

@@ -3,12 +3,12 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.workloads.shapes import (
-    IncastSpec,
-    ShuffleSpec,
-    generate_incast,
-    generate_shuffle,
-)
+from repro.workloads.api import workload_from_spec
+from repro.workloads.shapes import IncastSpec, ShuffleSpec
+
+
+def _materialize(spec):
+    return workload_from_spec(spec).materialize()
 
 
 def _incast_spec(**overrides):
@@ -21,24 +21,24 @@ def _incast_spec(**overrides):
 
 class TestIncast:
     def test_count_and_sorted_arrivals(self):
-        messages = generate_incast(_incast_spec())
+        messages = _materialize(_incast_spec())
         assert len(messages) == 120
         arrivals = [m.arrival_ns for m in messages]
         assert arrivals == sorted(arrivals)
 
     def test_uids_are_zero_based_and_dense(self):
-        messages = generate_incast(_incast_spec())
+        messages = _materialize(_incast_spec())
         assert sorted(m.uid for m in messages) == list(range(len(messages)))
 
     def test_deterministic_under_seed(self):
-        a = generate_incast(_incast_spec(seed=7))
-        b = generate_incast(_incast_spec(seed=7))
+        a = _materialize(_incast_spec(seed=7))
+        b = _materialize(_incast_spec(seed=7))
         assert a == b
-        assert a != generate_incast(_incast_spec(seed=8))
+        assert a != _materialize(_incast_spec(seed=8))
 
     def test_write_incast_converges_on_victims(self):
         # Every event's messages share one destination (the victim).
-        messages = generate_incast(_incast_spec(write_fraction=1.0))
+        messages = _materialize(_incast_spec(write_fraction=1.0))
         by_arrival = {}
         for m in messages:
             by_arrival.setdefault(m.arrival_ns, set()).add(m.dst)
@@ -46,7 +46,7 @@ class TestIncast:
         assert all(len(dsts) == 1 for dsts in by_arrival.values())
 
     def test_read_incast_fans_out_from_victim(self):
-        messages = generate_incast(_incast_spec(write_fraction=0.0))
+        messages = _materialize(_incast_spec(write_fraction=0.0))
         by_arrival = {}
         for m in messages:
             by_arrival.setdefault(m.arrival_ns, set()).add(m.src)
@@ -54,17 +54,17 @@ class TestIncast:
         assert all(len(srcs) == 1 for srcs in by_arrival.values())
 
     def test_rotating_victims_spread_over_nodes(self):
-        messages = generate_incast(_incast_spec(message_count=200))
+        messages = _materialize(_incast_spec(message_count=200))
         assert len({m.dst for m in messages}) > 4
 
     def test_fixed_victim(self):
-        messages = generate_incast(
+        messages = _materialize(
             _incast_spec(rotate_victims=False, write_fraction=1.0)
         )
         assert {m.dst for m in messages} == {0}
 
     def test_degree_clamped_to_cluster(self):
-        messages = generate_incast(_incast_spec(num_nodes=3, degree=10))
+        messages = _materialize(_incast_spec(num_nodes=3, degree=10))
         assert messages  # degree clamps to n-1 instead of raising
 
     @pytest.mark.parametrize(
@@ -93,7 +93,7 @@ def _shuffle_spec(**overrides):
 class TestShuffle:
     def test_every_round_is_a_permutation(self):
         spec = _shuffle_spec()
-        messages = generate_shuffle(spec)
+        messages = _materialize(spec)
         assert len(messages) == spec.message_count == 60
         rounds = {}
         for m in messages:
@@ -104,24 +104,24 @@ class TestShuffle:
             assert all(m.src != m.dst for m in batch)
 
     def test_strides_cycle_across_rounds(self):
-        messages = generate_shuffle(_shuffle_spec())
+        messages = _materialize(_shuffle_spec())
         strides = set()
         for m in messages:
             strides.add((m.dst - m.src) % 6)
         assert strides == {1, 2, 3, 4, 5}
 
     def test_deterministic_under_seed(self):
-        assert generate_shuffle(_shuffle_spec(seed=3)) == generate_shuffle(
+        assert _materialize(_shuffle_spec(seed=3)) == _materialize(
             _shuffle_spec(seed=3)
         )
 
     def test_jitter_desynchronizes_rounds(self):
         spec = _shuffle_spec(jitter_ns=5.0, seed=1)
-        messages = generate_shuffle(spec)
+        messages = _materialize(spec)
         assert len({m.arrival_ns for m in messages}) > spec.rounds
 
     def test_uids_zero_based(self):
-        messages = generate_shuffle(_shuffle_spec())
+        messages = _materialize(_shuffle_spec())
         assert sorted(m.uid for m in messages) == list(range(len(messages)))
 
     @pytest.mark.parametrize(

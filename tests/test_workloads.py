@@ -12,17 +12,23 @@ from repro.workloads.distributions import (
     app_cdf,
     fixed_size,
 )
-from repro.workloads.synthetic import SyntheticSpec, generate, mean_wire_bytes, microbenchmark
-from repro.workloads.traces import TraceSpec, all_apps, generate_trace
+from repro.workloads.api import workload_from_spec
+from repro.workloads.streaming import YcsbSpec
+from repro.workloads.synthetic import SyntheticSpec, mean_wire_bytes, microbenchmark
+from repro.workloads.traces import TraceSpec, all_apps
 from repro.workloads.ycsb import (
     OpType,
     WORKLOAD_A,
     WORKLOAD_B,
     WORKLOAD_F,
     ZipfianKeyChooser,
-    generate_ops,
     workload_by_name,
 )
+
+
+def _ycsb_ops(workload, count, seed):
+    spec = YcsbSpec(workload=workload.name, message_count=count, seed=seed)
+    return workload_from_spec(spec).materialize()
 
 
 class TestSizeCdf:
@@ -122,7 +128,7 @@ class TestSynthetic:
             size_cdf=fixed_size(64), incast_fraction=0.5, incast_degree=8,
             seed=0,
         )
-        msgs = generate(spec)
+        msgs = workload_from_spec(spec).materialize()
         # Incast events create groups of simultaneous arrivals.
         from collections import Counter
         counts = Counter(m.arrival_ns for m in msgs)
@@ -141,17 +147,17 @@ class TestYcsb:
     def test_workload_mixes(self):
         # A: 50% writes, B: 5% writes, F: 33% writes (§4.2.2).
         for wl, expected in ((WORKLOAD_A, 0.5), (WORKLOAD_B, 0.05), (WORKLOAD_F, 0.33)):
-            ops = generate_ops(wl, count=6000, seed=1)
+            ops = _ycsb_ops(wl, count=6000, seed=1)
             writes = sum(1 for op in ops if op.is_write)
             assert writes / len(ops) == pytest.approx(expected, abs=0.03)
 
     def test_f_uses_rmw(self):
-        ops = generate_ops(WORKLOAD_F, count=2000, seed=1)
+        ops = _ycsb_ops(WORKLOAD_F, count=2000, seed=1)
         assert any(op.op == OpType.READ_MODIFY_WRITE for op in ops)
         assert not any(op.op == OpType.UPDATE for op in ops)
 
     def test_value_sizes(self):
-        ops = generate_ops(WORKLOAD_A, count=100, seed=1)
+        ops = _ycsb_ops(WORKLOAD_A, count=100, seed=1)
         for op in ops:
             assert op.value_bytes == (100 if op.is_write else 1024)
 
@@ -177,17 +183,17 @@ class TestTraces:
         assert all_apps() == ["hadoop", "spark", "spark_sql", "graphlab", "memcached"]
 
     def test_trace_has_equal_read_write_mix(self):
-        trace = generate_trace(TraceSpec(
+        trace = workload_from_spec(TraceSpec(
             app="spark", num_nodes=8, link_gbps=100.0, load=0.5,
             message_count=4000, seed=0,
-        ))
+        )).materialize()
         reads = sum(1 for m in trace if m.is_read)
         assert 0.45 < reads / len(trace) < 0.55
 
     def test_trace_sizes_follow_app_cdf(self):
-        trace = generate_trace(TraceSpec(
+        trace = workload_from_spec(TraceSpec(
             app="graphlab", num_nodes=8, link_gbps=100.0, load=0.5,
             message_count=2000, seed=0,
-        ))
+        )).materialize()
         support = set(app_cdf("graphlab").sizes)
         assert all(m.size_bytes in support for m in trace)
