@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli figure8b --nodes 12 --messages 1200 --apps memcached
     python -m repro.cli run figure8a --jobs 4 --out results
     python -m repro.cli run serving --profiles steady_ab --ops-per-client 200
+    python -m repro.cli run figure8a --profile   # .prof + top-25 table
     python -m repro.cli run --list
     python -m repro.cli scenario list
     python -m repro.cli scenario run --jobs 4
@@ -61,7 +62,24 @@ def _run_and_persist(
     name: str, args: argparse.Namespace, options: Dict[str, Any]
 ) -> RunnerResult:
     """Run one experiment through the runner; write an artifact unless opted out."""
-    result = Runner(jobs=args.jobs).run(name, **options)
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        if args.jobs != 1:
+            print(
+                "warning: --profile records this process only; "
+                "worker-process time is invisible (use --jobs 1)",
+                file=sys.stderr,
+            )
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        result = Runner(jobs=args.jobs).run(name, **options)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    artifact_path: Optional[str] = None
     if args.out and not getattr(args, "no_artifact", False):
         # Record exactly what the runner received — not the raw argparse
         # namespace, whose flags an experiment may not consume.
@@ -69,9 +87,43 @@ def _run_and_persist(
             k: dataclasses.asdict(v) if dataclasses.is_dataclass(v) else v
             for k, v in options.items()
         }
-        path = write_artifact(result, out_dir=args.out, config=config)
-        print(f"[artifact] {path}", file=sys.stderr)
+        artifact_path = write_artifact(result, out_dir=args.out, config=config)
+        print(f"[artifact] {artifact_path}", file=sys.stderr)
+    if profiler is not None:
+        _write_profile(profiler, name, args, artifact_path)
     return result
+
+
+def _write_profile(
+    profiler: Any,
+    name: str,
+    args: argparse.Namespace,
+    artifact_path: Optional[str],
+) -> None:
+    """Persist a cProfile capture next to the JSON artifact.
+
+    Two files: the raw ``.prof`` dump (for snakeviz/pstats digging) and a
+    ``_profile.txt`` with the top 25 functions by cumulative time, so the
+    hot path is reviewable straight from a CI artifact listing.
+    """
+    import io
+    import pathlib
+    import pstats
+
+    if artifact_path is not None:
+        base = pathlib.Path(artifact_path).with_suffix("")
+    else:
+        base = pathlib.Path(args.out or ".") / name
+    base.parent.mkdir(parents=True, exist_ok=True)
+    prof_path = base.parent / f"{base.name}.prof"
+    profiler.dump_stats(str(prof_path))
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(25)
+    text_path = base.parent / f"{base.name}_profile.txt"
+    text_path.write_text(buffer.getvalue(), encoding="utf-8")
+    print(f"[profile] {prof_path}", file=sys.stderr)
+    print(f"[profile] {text_path}", file=sys.stderr)
 
 
 def _cmd_figure6(args: argparse.Namespace) -> None:
@@ -391,6 +443,11 @@ def _add_runner_args(
     parser.add_argument(
         "--no-artifact", action="store_true",
         help="skip writing the JSON artifact",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the run; writes .prof + top-25 cumulative table "
+        "next to the artifact (parent process only — use --jobs 1)",
     )
 
 

@@ -5,13 +5,17 @@ RMWREQ (generated at compute nodes) and RRES (generated at memory nodes).
 The scheduler adds two control payloads: demand *notifications* (/N/ blocks)
 and *grants* (/G/ blocks).  Field widths follow §3.1.4: 9-bit destination
 (clusters up to 512 nodes), 8-bit message id, 16-bit size.
+
+The message classes here are deliberately plain ``__slots__`` classes
+rather than dataclasses: the DES hot path allocates one per message (plus
+one grant per chunk), and the generated dataclass ``__init__`` +
+``__post_init__`` pair showed up as a top-ten cost in profiles.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.core.opcodes import RmwOpcode, request_size_bytes, response_size_bytes
@@ -48,7 +52,6 @@ class MessageType(enum.Enum):
     RRES = "RRES"
 
 
-@dataclass
 class MemoryMessage:
     """A remote-memory message travelling over the fabric.
 
@@ -68,34 +71,59 @@ class MemoryMessage:
         in_response_to: for RRES, the uid of the originating request.
     """
 
-    mtype: MessageType
-    src: int
-    dst: int
-    size_bytes: int
-    address: int = 0
-    read_bytes: int = 0
-    message_id: int = 0
-    opcode: Optional[RmwOpcode] = None
-    rmw_args: Tuple[int, ...] = ()
-    created_at: float = 0.0
-    uid: int = field(default_factory=_next_uid)
-    in_response_to: Optional[int] = None
+    __slots__ = (
+        "mtype", "src", "dst", "size_bytes", "address", "read_bytes",
+        "message_id", "opcode", "rmw_args", "created_at", "uid",
+        "in_response_to",
+    )
 
-    def __post_init__(self) -> None:
-        if self.src == self.dst:
-            raise ConfigError(f"message src and dst must differ, both are {self.src}")
-        if not 0 <= self.src <= MAX_NODE_ID or not 0 <= self.dst <= MAX_NODE_ID:
+    def __init__(
+        self,
+        mtype: MessageType,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        address: int = 0,
+        read_bytes: int = 0,
+        message_id: int = 0,
+        opcode: Optional[RmwOpcode] = None,
+        rmw_args: Tuple[int, ...] = (),
+        created_at: float = 0.0,
+        uid: Optional[int] = None,
+        in_response_to: Optional[int] = None,
+    ) -> None:
+        if src == dst:
+            raise ConfigError(f"message src and dst must differ, both are {src}")
+        if src < 0 or src > MAX_NODE_ID or dst < 0 or dst > MAX_NODE_ID:
             raise ConfigError(
-                f"node ids must fit in 9 bits, got src={self.src} dst={self.dst}"
+                f"node ids must fit in 9 bits, got src={src} dst={dst}"
             )
-        if self.size_bytes <= 0:
-            raise ConfigError(f"message size must be positive, got {self.size_bytes}")
-        if not 0 <= self.message_id <= MAX_MESSAGE_ID:
-            raise ConfigError(f"message id must fit in 8 bits, got {self.message_id}")
-        if self.mtype == MessageType.RREQ and self.read_bytes <= 0:
+        if size_bytes <= 0:
+            raise ConfigError(f"message size must be positive, got {size_bytes}")
+        if message_id < 0 or message_id > MAX_MESSAGE_ID:
+            raise ConfigError(f"message id must fit in 8 bits, got {message_id}")
+        if mtype is MessageType.RREQ and read_bytes <= 0:
             raise ConfigError("an RREQ must declare a positive read_bytes demand")
-        if self.mtype == MessageType.RMWREQ and self.opcode is None:
+        if mtype is MessageType.RMWREQ and opcode is None:
             raise ConfigError("an RMWREQ must carry an opcode")
+        self.mtype = mtype
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.address = address
+        self.read_bytes = read_bytes
+        self.message_id = message_id
+        self.opcode = opcode
+        self.rmw_args = rmw_args
+        self.created_at = created_at
+        self.uid = next(_msg_counter) if uid is None else uid
+        self.in_response_to = in_response_to
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryMessage({self.mtype.value}, src={self.src}, dst={self.dst}, "
+            f"size={self.size_bytes}, id={self.message_id}, uid={self.uid})"
+        )
 
     @property
     def is_request(self) -> bool:
@@ -105,9 +133,9 @@ class MemoryMessage:
     @property
     def response_demand_bytes(self) -> int:
         """Size of the response this request implies (0 for WREQ, §3.1.1)."""
-        if self.mtype == MessageType.RREQ:
+        if self.mtype is MessageType.RREQ:
             return self.read_bytes
-        if self.mtype == MessageType.RMWREQ:
+        if self.mtype is MessageType.RMWREQ:
             assert self.opcode is not None
             return response_size_bytes(self.opcode)
         return 0
@@ -189,22 +217,31 @@ def make_rres(
     created_at: float = 0.0,
 ) -> MemoryMessage:
     """Build the read response for ``request`` (an RREQ or RMWREQ)."""
-    if not request.is_request or request.mtype == MessageType.WREQ:
+    if not request.is_request or request.mtype is MessageType.WREQ:
         raise ConfigError(f"no RRES is generated for a {request.mtype.value}")
     demand = size_bytes if size_bytes is not None else request.response_demand_bytes
-    return MemoryMessage(
-        mtype=MessageType.RRES,
-        src=request.dst,
-        dst=request.src,
-        size_bytes=demand,
-        address=request.address,
-        message_id=request.message_id,
-        created_at=created_at,
-        in_response_to=request.uid,
-    )
+    if demand <= 0:
+        raise ConfigError(f"message size must be positive, got {demand}")
+    # Direct construction: every other constructor invariant (node id
+    # ranges, message id width, src != dst) holds by inheritance from the
+    # already-validated request, and this runs once per read on the hot
+    # path.
+    message = MemoryMessage.__new__(MemoryMessage)
+    message.mtype = MessageType.RRES
+    message.src = request.dst
+    message.dst = request.src
+    message.size_bytes = demand
+    message.address = request.address
+    message.read_bytes = 0
+    message.message_id = request.message_id
+    message.opcode = None
+    message.rmw_args = ()
+    message.created_at = created_at
+    message.uid = next(_msg_counter)
+    message.in_response_to = request.uid
+    return message
 
 
-@dataclass(frozen=True)
 class Notification:
     """An explicit demand notification (/N/ block payload, §3.1.4).
 
@@ -212,19 +249,36 @@ class Notification:
     notification and the switch synthesizes one of these internally.
     """
 
-    src: int
-    dst: int
-    message_id: int
-    size_bytes: int
-    notified_at: float = 0.0
-    message_uid: Optional[int] = None
+    __slots__ = ("src", "dst", "message_id", "size_bytes", "notified_at",
+                 "message_uid")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        message_id: int,
+        size_bytes: int,
+        notified_at: float = 0.0,
+        message_uid: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.message_id = message_id
+        self.size_bytes = size_bytes
+        self.notified_at = notified_at
+        self.message_uid = message_uid
 
     @property
     def wire_bytes(self) -> int:
         return CONTROL_PAYLOAD_BYTES
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Notification(src={self.src}, dst={self.dst}, "
+            f"id={self.message_id}, size={self.size_bytes})"
+        )
 
-@dataclass(frozen=True)
+
 class Grant:
     """A chunk grant (/G/ block payload, §3.1.4).
 
@@ -233,14 +287,33 @@ class Grant:
     id the sender chose) — one bit of the grant's payload.
     """
 
-    src: int
-    dst: int
-    message_id: int
-    chunk_bytes: int
-    granted_at: float = 0.0
-    message_uid: Optional[int] = None
-    for_response: bool = False
+    __slots__ = ("src", "dst", "message_id", "chunk_bytes", "granted_at",
+                 "message_uid", "for_response")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        message_id: int,
+        chunk_bytes: int,
+        granted_at: float = 0.0,
+        message_uid: Optional[int] = None,
+        for_response: bool = False,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.message_id = message_id
+        self.chunk_bytes = chunk_bytes
+        self.granted_at = granted_at
+        self.message_uid = message_uid
+        self.for_response = for_response
 
     @property
     def wire_bytes(self) -> int:
         return CONTROL_PAYLOAD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Grant(src={self.src}, dst={self.dst}, id={self.message_id}, "
+            f"chunk={self.chunk_bytes}, rres={self.for_response})"
+        )

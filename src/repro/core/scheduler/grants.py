@@ -36,14 +36,22 @@ from repro.errors import SchedulerError
 DEFAULT_CHUNK_BYTES = 256
 
 
-@dataclass
 class IssuedGrant:
     """A grant paired with its demand and bookkeeping for the fabric model."""
 
-    grant: Grant
-    demand: Demand
-    is_first_for_rres: bool = False
-    completes_message: bool = False
+    __slots__ = ("grant", "demand", "is_first_for_rres", "completes_message")
+
+    def __init__(
+        self,
+        grant: Grant,
+        demand: Demand,
+        is_first_for_rres: bool = False,
+        completes_message: bool = False,
+    ) -> None:
+        self.grant = grant
+        self.demand = demand
+        self.is_first_for_rres = is_first_for_rres
+        self.completes_message = completes_message
 
 
 @dataclass
@@ -93,6 +101,11 @@ class CentralScheduler:
         self.grants_issued = 0
         self.rounds_run = 0
         self.total_iterations = 0
+        # Chunk sizes repeat (full chunks plus a handful of tails), so the
+        # per-grant hold window is cached per chunk size.  Entries are the
+        # result of the exact per-grant expression, so the cache cannot
+        # perturb event times.
+        self._hold_ns_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
     # Demand intake                                                      #
@@ -184,10 +197,13 @@ class CentralScheduler:
         # wire footprint includes /M*/ block framing (64 data bits per
         # 66-bit block), so reserve its true wire time.  With early release
         # disabled (ablation), hold the pair for a full round trip instead.
-        wire_bytes = block_count_for_message(chunk) * 8
-        hold_ns = wire_bytes * 8.0 / self.config.link_gbps
-        if not self.config.early_release:
-            hold_ns *= 2.0
+        hold_ns = self._hold_ns_cache.get(chunk)
+        if hold_ns is None:
+            wire_bytes = block_count_for_message(chunk) * 8
+            hold_ns = wire_bytes * 8.0 / self.config.link_gbps
+            if not self.config.early_release:
+                hold_ns *= 2.0
+            self._hold_ns_cache[chunk] = hold_ns
         release_at = now + hold_ns
         self._src_busy_until[demand.src] = release_at
         self._dst_busy_until[demand.dst] = release_at

@@ -11,18 +11,16 @@ enforce this; X=3 empirically best, §4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.scheduler.ordered_list import CycleMeter, OrderedList
-from repro.core.scheduler.policies import Policy, priority_of
+from repro.core.scheduler.policies import Policy
 from repro.errors import SchedulerError
 
 #: Paper's empirically best bound on active notifications per src-dst pair.
 DEFAULT_MAX_ACTIVE_PER_PAIR = 3
 
 
-@dataclass
 class Demand:
     """One pending message demand held by the switch.
 
@@ -36,33 +34,60 @@ class Demand:
         message_uid: uid of the underlying MemoryMessage, if any.
         carried_request: for RRES demands, the buffered RREQ/RMWREQ whose
             forwarding acts as the first grant (§3.1.1 step 4).
+        pair: precomputed rate-limit key ``(src, dst, is-response)``.  A
+            host rate-limits its *own* initiated messages to X per
+            destination; read-response demands (src = the memory node) are
+            limited by the requesting host, so the two directions account
+            separately even when they share a port pair.
     """
 
-    src: int
-    dst: int
-    message_id: int
-    total_bytes: int
-    remaining_bytes: int = field(default=-1)
-    notified_at: float = 0.0
-    message_uid: Optional[int] = None
-    carried_request: Optional[object] = None
+    __slots__ = (
+        "src", "dst", "message_id", "total_bytes", "remaining_bytes",
+        "notified_at", "message_uid", "carried_request", "pair",
+    )
 
-    def __post_init__(self) -> None:
-        if self.total_bytes <= 0:
-            raise SchedulerError(f"demand must be positive, got {self.total_bytes}")
-        if self.remaining_bytes < 0:
-            self.remaining_bytes = self.total_bytes
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        message_id: int,
+        total_bytes: int,
+        remaining_bytes: int = -1,
+        notified_at: float = 0.0,
+        message_uid: Optional[int] = None,
+        carried_request: Optional[object] = None,
+    ) -> None:
+        if total_bytes <= 0:
+            raise SchedulerError(f"demand must be positive, got {total_bytes}")
+        self.src = src
+        self.dst = dst
+        self.message_id = message_id
+        self.total_bytes = total_bytes
+        self.remaining_bytes = total_bytes if remaining_bytes < 0 else remaining_bytes
+        self.notified_at = notified_at
+        self.message_uid = message_uid
+        self.carried_request = carried_request
+        self.pair = (src, dst, carried_request is not None)
 
-    @property
-    def pair(self) -> Tuple[int, int, bool]:
-        """Rate-limit key: (src, dst, is-response).
+    def clone(self) -> "Demand":
+        """Independent copy (used when mirroring a demand stream to a
+        backup scheduler, which must own its remaining-bytes state)."""
+        return Demand(
+            src=self.src,
+            dst=self.dst,
+            message_id=self.message_id,
+            total_bytes=self.total_bytes,
+            remaining_bytes=self.remaining_bytes,
+            notified_at=self.notified_at,
+            message_uid=self.message_uid,
+            carried_request=self.carried_request,
+        )
 
-        A host rate-limits its *own* initiated messages to X per
-        destination; read-response demands (src = the memory node) are
-        limited by the requesting host, so the two directions account
-        separately even when they share a port pair.
-        """
-        return (self.src, self.dst, self.carried_request is not None)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Demand(src={self.src}, dst={self.dst}, id={self.message_id}, "
+            f"total={self.total_bytes}, remaining={self.remaining_bytes})"
+        )
 
 
 class NotificationQueueBank:
@@ -90,6 +115,12 @@ class NotificationQueueBank:
         self.policy = policy
         self.max_active_per_pair = max_active_per_pair
         self.meter = meter if meter is not None else CycleMeter()
+        # Priority extraction bound once: SRPT keys on remaining bytes,
+        # FCFS on notification time (identical to priority_of per call).
+        if policy is Policy.SRPT:
+            self._priority_of = _srpt_priority
+        else:
+            self._priority_of = _fcfs_priority
         # Each destination queue holds up to X demands per source for each
         # of the two directions (initiated writes + read responses).
         capacity = 2 * max_active_per_pair * num_ports
@@ -124,33 +155,37 @@ class NotificationQueueBank:
         """Insert a demand into its destination's queue."""
         self._check_port(demand.src)
         self._check_port(demand.dst)
-        if not self.can_accept(*demand.pair):
+        pair = demand.pair
+        count = self._pair_counts.get(pair, 0)
+        if count >= self.max_active_per_pair:
             raise SchedulerError(
-                f"pair {demand.pair} exceeded X={self.max_active_per_pair} active "
+                f"pair {pair} exceeded X={self.max_active_per_pair} active "
                 f"notifications; the sender's rate limiter must hold this demand"
             )
-        priority = priority_of(self.policy, demand)
-        self._queues[demand.dst].insert(priority, demand)
-        self._pair_counts[demand.pair] = self.pair_count(*demand.pair) + 1
+        dst = demand.dst
+        self._queues[dst].insert(self._priority_of(demand), demand)
+        self._pair_counts[pair] = count + 1
         self._total += 1
-        self._nonempty.add(demand.dst)
+        self._nonempty.add(dst)
 
     def remove(self, demand: Demand) -> None:
         """Remove a fully-granted demand (remaining bytes hit zero)."""
-        self._queues[demand.dst].remove(demand)
+        dst = demand.dst
+        queue = self._queues[dst]
+        queue.remove(demand)
         self._total -= 1
-        if not self._queues[demand.dst]:
-            self._nonempty.discard(demand.dst)
-        count = self.pair_count(*demand.pair)
+        if not queue:
+            self._nonempty.discard(dst)
+        pair = demand.pair
+        count = self._pair_counts.get(pair, 0)
         if count <= 1:
-            self._pair_counts.pop(demand.pair, None)
+            self._pair_counts.pop(pair, None)
         else:
-            self._pair_counts[demand.pair] = count - 1
+            self._pair_counts[pair] = count - 1
 
     def reprioritize(self, demand: Demand) -> None:
         """Re-key a demand after its remaining bytes changed (SRPT)."""
-        priority = priority_of(self.policy, demand)
-        self._queues[demand.dst].reprioritize(demand, priority)
+        self._queues[demand.dst].reprioritize(demand, self._priority_of(demand))
 
     def best_eligible(self, dst: int, src_eligible) -> Optional[Demand]:
         """Highest-priority demand at ``dst`` whose source passes the filter.
@@ -179,3 +214,11 @@ class NotificationQueueBank:
             raise SchedulerError(
                 f"port {port} out of range for a {self.num_ports}-port switch"
             )
+
+
+def _srpt_priority(demand: Demand) -> float:
+    return float(demand.remaining_bytes)
+
+
+def _fcfs_priority(demand: Demand) -> float:
+    return demand.notified_at

@@ -125,20 +125,20 @@ class OrderedList(Generic[T]):
         idx = bisect.bisect_right(self._keys, key)
         self._keys.insert(idx, key)
         self._values.insert(idx, value)
-        self.meter.charge_insert()
+        self.meter.inserts += 1
 
     def peek(self) -> T:
         """Return (without removing) the highest-priority value; 1 cycle."""
         if not self._keys:
             raise SchedulerError("peek on an empty ordered list")
-        self.meter.charge_peek()
+        self.meter.peeks += 1
         return self._values[0]
 
     def peek_priority(self) -> float:
         """Priority of the head element; shares the peek port (1 cycle)."""
         if not self._keys:
             raise SchedulerError("peek on an empty ordered list")
-        self.meter.charge_peek()
+        self.meter.peeks += 1
         return self._keys[0][0]
 
     def pop(self) -> T:
@@ -146,7 +146,7 @@ class OrderedList(Generic[T]):
         if not self._keys:
             raise SchedulerError("pop on an empty ordered list")
         self._keys.pop(0)
-        self.meter.charge_delete()
+        self.meter.deletes += 1
         return self._values.pop(0)
 
     def remove(self, value: T) -> None:
@@ -155,7 +155,7 @@ class OrderedList(Generic[T]):
             if v is value or v == value:
                 del self._keys[i]
                 del self._values[i]
-                self.meter.charge_delete()
+                self.meter.deletes += 1
                 return
         raise SchedulerError(f"value not present in ordered list: {value!r}")
 
@@ -171,7 +171,7 @@ class OrderedList(Generic[T]):
         In hardware, eligibility (the busy bits) is checked combinationally
         alongside the peek, so this still charges a single peek.
         """
-        self.meter.charge_peek()
+        self.meter.peeks += 1
         for v in self._values:
             if predicate(v):
                 return v

@@ -123,36 +123,53 @@ class PimMatcher:
     ) -> Dict[int, List[Demand]]:
         """Cycle 1: each free destination proposes to one source."""
         proposals: Dict[int, List[Demand]] = {}
+        bank = self.bank
+        queues = bank._queues
+        meter = bank.meter
         # Only destinations with pending demands can propose; iterating
         # them in ascending port order matches a scan over all N ports
         # (empty queues never proposed) without the O(N) sweep per
-        # iteration, which dominates at large port counts.
-        for dst in self.bank.nonempty_destinations():
+        # iteration, which dominates at large port counts.  The eligible
+        # head is found by an inline scan of the priority-ordered queue —
+        # equivalent to bank.best_eligible, charged as the same single
+        # combinational peek.
+        for dst in bank.nonempty_destinations():
             if dst in busy_dst:
                 continue
-            demand = self.bank.best_eligible(dst, lambda s: s not in busy_src)
-            if demand is not None:
-                proposals.setdefault(demand.src, []).append(demand)
+            meter.peeks += 1
+            for demand in queues[dst]._values:
+                if demand.src not in busy_src:
+                    src = demand.src
+                    bucket = proposals.get(src)
+                    if bucket is None:
+                        proposals[src] = [demand]
+                    else:
+                        bucket.append(demand)
+                    break
         return proposals
 
     def _source_resolution(self, proposals: Dict[int, List[Demand]]) -> List[Demand]:
-        """Cycle 2: each source picks its highest-priority proposer."""
+        """Cycle 2: each source picks its highest-priority proposer.
+
+        Functionally identical to loading the proposals into the source's
+        sorted request array and priority-encoding the winner
+        (:class:`SourceRequestArray`): the array orders entries by
+        (priority, insertion order) and the encoder picks the first, i.e.
+        the minimum over proposals by priority with earlier-proposed
+        destinations winning ties.
+        """
         accepted: List[Demand] = []
-        for src, demands in proposals.items():
+        priority = self.bank._priority_of
+        for demands in proposals.values():
             if len(demands) == 1:
                 accepted.append(demands[0])
                 continue
-            array = self._source_array(src)
-            array.clear_requests()
-            by_dst = {}
-            for demand in demands:
-                array.update_destination(
-                    demand.dst, priority_of(self.bank.policy, demand)
-                )
-                array.request(demand.dst)
-                by_dst[demand.dst] = demand
-            winner_dst = array.resolve()
-            if winner_dst is None:  # pragma: no cover - defensive
-                raise SchedulerError("priority encoder returned no winner")
-            accepted.append(by_dst[winner_dst])
+            winner = demands[0]
+            best = priority(winner)
+            for demand in demands[1:]:
+                p = priority(demand)
+                if p < best:
+                    best = p
+                    winner = demand
+            accepted.append(winner)
         return accepted

@@ -13,9 +13,18 @@ Compared series, when present in both payloads:
 
 * ``sweep.<kernel>.events_per_s`` — end-to-end figure-8a sweep
   throughput per event kernel (the headline number).  These *gate*.
+* ``sweep.<kernel>.by_fabric.<fabric>.events_per_s`` — the same sweep
+  split per fabric model.  These *gate* too: the aggregate can hide a
+  one-fabric regression behind speedups elsewhere.  Baselines that
+  predate the per-fabric split simply lack the series and gate on the
+  aggregate alone.
 * ``kernel_microbench.rows[depth].<kernel>_ops_per_s`` — raw queue-op
   throughput at each depth.  Reported for context, never gated: raw ops
   are the most machine-sensitive number in the payload.
+
+A baseline generated from a dirty working tree draws a loud warning (see
+:func:`baseline_warnings`): its numbers describe code that was never
+committed, so the gate may be ratcheting against unreviewable state.
 """
 
 from __future__ import annotations
@@ -56,6 +65,12 @@ def _series(payload: Dict[str, Any]) -> Dict[str, float]:
         value = sweep.get("events_per_s")
         if value:
             out[f"sweep.{kernel}.events_per_s"] = float(value)
+        for fabric, agg in (sweep.get("by_fabric") or {}).items():
+            fabric_value = agg.get("events_per_s")
+            if fabric_value:
+                out[f"sweep.{kernel}.by_fabric.{fabric}.events_per_s"] = float(
+                    fabric_value
+                )
     micro = (payload.get("kernel_microbench") or {}).get("rows") or []
     for row in micro:
         depth = row.get("depth")
@@ -86,6 +101,26 @@ def _check_configs_match(
             f"bench configs differ (baseline {base_cfg} vs current {cur_cfg}); "
             f"regenerate with the baseline's configuration"
         )
+
+
+def baseline_warnings(baseline: Dict[str, Any]) -> List[str]:
+    """Non-fatal problems with the committed baseline itself.
+
+    A dirty baseline does not fail the gate — the comparison is still
+    better than nothing — but it means the ratchet's reference numbers
+    came from code that was never committed, so every report calls it
+    out until the baseline is regenerated from a clean checkout.
+    """
+    warnings: List[str] = []
+    git = baseline.get("git") or {}
+    if git.get("dirty"):
+        commit = str(git.get("commit") or "unknown")[:12]
+        warnings.append(
+            f"baseline was generated from a dirty working tree "
+            f"(commit {commit}); regenerate it from a clean commit so the "
+            f"gate ratchets against reviewable code"
+        )
+    return warnings
 
 
 def gate_failures(
@@ -140,6 +175,8 @@ def gate_report(
     base_series = _series(baseline)
     cur_series = _series(current)
     lines = [f"bench gate (tolerance {tolerance:g}% drop):"]
+    for warning in baseline_warnings(baseline):
+        lines.append(f"  WARNING: {warning}")
     for name, base in sorted(base_series.items()):
         cur = cur_series.get(name)
         if cur is None:

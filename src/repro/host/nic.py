@@ -13,11 +13,17 @@ byte reaches the compute node; a write completes when the last WREQ byte
 reaches the memory node (writes are one-sided).  A
 :class:`CompletionRouter` carries the cross-node callback plumbing the
 simulation needs for the latter.
+
+This module is the single hottest model layer in the EDM fabric — every
+granted chunk crosses it three times (grant RX, chunk TX, chunk RX) — so
+the RX/TX pipeline stages precompute their cycle delays, post
+fire-and-forget events (no cancellation handles), and recycle the pooled
+wire transfers they consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.clock import PCS_CYCLE_NS
@@ -41,10 +47,13 @@ from repro.host.state import (
     NotificationRateLimiter,
 )
 from repro.host.wire import (
-    TransferKind,
+    KIND_DATA_CHUNK,
+    KIND_GRANT,
+    KIND_REQUEST,
     WireTransfer,
     chunk_transfer,
     notify_transfer,
+    release_transfer,
     request_transfer,
 )
 from repro.memctrl.controller import MemoryController
@@ -54,16 +63,42 @@ from repro.sim.link import Link
 
 CompletionCallback = Callable[["Completion"], None]
 
+#: Shared zero-payload cache: the model never materializes real data, so
+#: identical zero buffers are immutable and safe to share across messages.
+_ZEROS: Dict[int, bytes] = {}
 
-@dataclass
+
+def _zeros(nbytes: int) -> bytes:
+    data = _ZEROS.get(nbytes)
+    if data is None:
+        data = _ZEROS[nbytes] = bytes(nbytes)
+    return data
+
+
 class Completion:
     """Delivered to the issuing application when an operation finishes."""
 
-    message: MemoryMessage
-    completed_at: float
-    latency_ns: float
-    data: bytes = b""
-    timed_out: bool = False
+    __slots__ = ("message", "completed_at", "latency_ns", "data", "timed_out")
+
+    def __init__(
+        self,
+        message: MemoryMessage,
+        completed_at: float,
+        latency_ns: float,
+        data: bytes = b"",
+        timed_out: bool = False,
+    ) -> None:
+        self.message = message
+        self.completed_at = completed_at
+        self.latency_ns = latency_ns
+        self.data = data
+        self.timed_out = timed_out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Completion(uid={self.message.uid}, at={self.completed_at}, "
+            f"lat={self.latency_ns}, timed_out={self.timed_out})"
+        )
 
 
 class CompletionRouter:
@@ -103,14 +138,22 @@ class CompletionRouter:
         return len(self._callbacks)
 
 
-@dataclass
 class HostConfig:
     """Per-host parameters."""
 
-    chunk_bytes: int = 256
-    max_active_per_pair: int = 3
-    cycle_ns: float = PCS_CYCLE_NS
-    read_timeout_ns: Optional[float] = None
+    __slots__ = ("chunk_bytes", "max_active_per_pair", "cycle_ns", "read_timeout_ns")
+
+    def __init__(
+        self,
+        chunk_bytes: int = 256,
+        max_active_per_pair: int = 3,
+        cycle_ns: float = PCS_CYCLE_NS,
+        read_timeout_ns: Optional[float] = None,
+    ) -> None:
+        self.chunk_bytes = chunk_bytes
+        self.max_active_per_pair = max_active_per_pair
+        self.cycle_ns = cycle_ns
+        self.read_timeout_ns = read_timeout_ns
 
 
 class EdmHostNic(Process):
@@ -121,12 +164,14 @@ class EdmHostNic(Process):
         sim: "Simulator | SimContext",
         node_id: int,
         router: CompletionRouter,
-        config: HostConfig = HostConfig(),
+        config: Optional[HostConfig] = None,
     ) -> None:
         super().__init__(sim, f"nic{node_id}")
+        if config is None:
+            config = HostConfig()
         self.node_id = node_id
         self.router = router
-        self.config = config
+        self._config = config
         self.uplink: Optional[Link] = None
         # Outbound: messages this node initiated, keyed by (dst, own id).
         self.state_table = MessageStateTable()
@@ -139,6 +184,32 @@ class EdmHostNic(Process):
         self._timeout_handles: Dict[int, object] = {}
         self.messages_sent = 0
         self.messages_completed = 0
+        self._recompute_delays()
+
+    @property
+    def config(self) -> HostConfig:
+        return self._config
+
+    @config.setter
+    def config(self, config: HostConfig) -> None:
+        self._config = config
+        self._recompute_delays()
+
+    def _recompute_delays(self) -> None:
+        # Precomputed pipeline-stage delays (sum of cycle counts x cycle
+        # time, identical to computing them per event).
+        cycle_ns = self._config.cycle_ns
+        self._d_tx_request = cycles.HOST_TX_REQUEST_CYCLES * cycle_ns
+        self._d_rx_grant = (
+            cycles.HOST_RX_GRANT_CYCLES
+            + cycles.HOST_GRANT_QUEUE_READ_CYCLES
+            + cycles.HOST_TX_DATA_CYCLES
+        ) * cycle_ns
+        self._d_rx_rreq = cycles.HOST_RX_RREQ_CYCLES * cycle_ns
+        self._d_rx_data = cycles.HOST_RX_DATA_CYCLES * cycle_ns
+        self._d_grant_read = (
+            cycles.HOST_GRANT_QUEUE_READ_CYCLES + cycles.HOST_TX_DATA_CYCLES
+        ) * cycle_ns
 
     # ------------------------------------------------------------------ #
     # wiring                                                             #
@@ -155,9 +226,10 @@ class EdmHostNic(Process):
         return count * self.config.cycle_ns
 
     def _send(self, transfer: WireTransfer, after_ns: float) -> None:
-        if self.uplink is None:
+        uplink = self.uplink
+        if uplink is None:
             raise HostError(f"node {self.node_id} has no uplink attached")
-        self.post(after_ns, lambda: self.uplink.send(transfer, transfer.wire_bytes))
+        self.sim.post(after_ns, partial(uplink.send, transfer, transfer.blocks * 8))
 
     # ------------------------------------------------------------------ #
     # compute-side API (§2.3's four message types)                       #
@@ -174,7 +246,7 @@ class EdmHostNic(Process):
         message_id = self.ids.allocate(dst)
         message = make_rreq(
             self.node_id, dst, address, nbytes,
-            message_id=message_id, created_at=self.now,
+            message_id=message_id, created_at=self.sim._now,
         )
         self._launch_request(message, on_complete)
         return message
@@ -191,7 +263,7 @@ class EdmHostNic(Process):
         message_id = self.ids.allocate(dst)
         message = make_rmwreq(
             self.node_id, dst, address, opcode, args,
-            message_id=message_id, created_at=self.now,
+            message_id=message_id, created_at=self.sim._now,
         )
         self._launch_request(message, on_complete)
         return message
@@ -205,9 +277,10 @@ class EdmHostNic(Process):
     ) -> MemoryMessage:
         """Issue a remote write; sends an explicit /N/ and awaits grants."""
         message_id = self.ids.allocate(dst)
+        now = self.sim._now
         message = make_wreq(
             self.node_id, dst, address, nbytes,
-            message_id=message_id, created_at=self.now,
+            message_id=message_id, created_at=now,
         )
 
         def _on_done(completion: Completion) -> None:
@@ -216,7 +289,7 @@ class EdmHostNic(Process):
             self._release_limiter_slot(dst)
             on_complete(completion)
 
-        self.router.register(message.uid, _on_done, self.now)
+        self.router.register(message.uid, _on_done, now)
         self.state_table.add(
             dst, message_id,
             MessageState(message=message, completion_callback=on_complete),
@@ -229,7 +302,7 @@ class EdmHostNic(Process):
     def _launch_request(
         self, message: MemoryMessage, on_complete: CompletionCallback
     ) -> None:
-        self.router.register(message.uid, on_complete, self.now)
+        self.router.register(message.uid, on_complete, self.sim._now)
         self.state_table.add(
             message.dst, message.message_id,
             MessageState(message=message, completion_callback=on_complete),
@@ -240,13 +313,13 @@ class EdmHostNic(Process):
         if self.config.read_timeout_ns is not None:
             handle = self.schedule(
                 self.config.read_timeout_ns,
-                lambda: self._on_read_timeout(message),
+                partial(self._on_read_timeout, message),
             )
             self._timeout_handles[message.uid] = handle
 
     def _send_request(self, message: MemoryMessage) -> None:
         # 2 cycles: read message queue + create block / write state table.
-        self._send(request_transfer(message), self._cycles(cycles.HOST_TX_REQUEST_CYCLES))
+        self._send(request_transfer(message), self._d_tx_request)
 
     def _send_notification(self, message: MemoryMessage) -> None:
         notification = Notification(
@@ -254,13 +327,10 @@ class EdmHostNic(Process):
             dst=message.dst,
             message_id=message.message_id,
             size_bytes=message.size_bytes,
-            notified_at=self.now,
+            notified_at=self.sim._now,
             message_uid=message.uid,
         )
-        self._send(
-            notify_transfer(notification),
-            self._cycles(cycles.HOST_TX_REQUEST_CYCLES),
-        )
+        self._send(notify_transfer(notification), self._d_tx_request)
 
     def _on_read_timeout(self, message: MemoryMessage) -> None:
         """Deadlock guard (§3.3): reply NULL if the memory node never does."""
@@ -270,7 +340,7 @@ class EdmHostNic(Process):
         self.state_table.remove(message.dst, message.message_id)
         self.ids.release(message.dst, message.message_id)
         self._release_limiter_slot(message.dst)
-        self.router.fire(message.uid, message, self.now, data=b"", timed_out=True)
+        self.router.fire(message.uid, message, self.sim._now, data=b"", timed_out=True)
 
     # ------------------------------------------------------------------ #
     # RX path                                                            #
@@ -278,112 +348,121 @@ class EdmHostNic(Process):
 
     def on_wire(self, transfer: WireTransfer) -> None:
         """Entry point for transfers delivered by the switch egress link."""
-        if transfer.kind == TransferKind.GRANT:
-            assert transfer.grant is not None
-            self._on_grant(transfer.grant)
-        elif transfer.kind == TransferKind.REQUEST:
-            assert transfer.message is not None
-            self._on_forwarded_request(transfer.message)
-        elif transfer.kind == TransferKind.DATA_CHUNK:
-            assert transfer.message is not None
-            self._on_data_chunk(transfer)
+        kind = transfer.kind
+        if kind == KIND_GRANT:
+            # A /G/ block: send the granted chunk of a pending WREQ or
+            # RRES after RX + grant-queue-read + TX cycles.  The transfer
+            # envelope is exhausted here; only the grant payload lives on.
+            grant = transfer.grant
+            release_transfer(transfer)
+            self.sim.post(self._d_rx_grant, partial(self._emit_chunk, grant))
+        elif kind == KIND_REQUEST:
+            # An RREQ/RMWREQ forwarded by the switch = implicit first grant.
+            if self.controller is None:
+                raise HostError(
+                    f"node {self.node_id} received a "
+                    f"{transfer.message.mtype.value} but has no memory "
+                    f"controller attached"
+                )
+            self.sim.post(
+                self._d_rx_rreq, partial(self._service_request, transfer.message)
+            )
+        elif kind == KIND_DATA_CHUNK:
+            self.sim.post(self._d_rx_data, partial(self._absorb_chunk, transfer))
         else:
             raise HostError(f"host received unexpected transfer kind {transfer.kind}")
 
     # -- grants --------------------------------------------------------- #
 
-    def _on_grant(self, grant: Grant) -> None:
-        """A /G/ block: send the granted chunk of a pending WREQ or RRES."""
-        delay = self._cycles(
-            cycles.HOST_RX_GRANT_CYCLES
-            + cycles.HOST_GRANT_QUEUE_READ_CYCLES
-            + cycles.HOST_TX_DATA_CYCLES
-        )
-        self.schedule(delay, lambda: self._emit_chunk(grant))
-
-    def _emit_chunk(self, grant: Grant) -> None:
+    def _emit_chunk(self, grant: Grant, batch: Optional[list] = None) -> None:
         table = self.serving_table if grant.for_response else self.state_table
         state = table.get(grant.dst, grant.message_id)
         message = state.message
-        if message.mtype == MessageType.RRES and not state.data_ready:
+        if message.mtype is MessageType.RRES and not state.data_ready:
             # Memory still reading: hold the grant until data is buffered.
             state.pending_grants.append(grant)
             return
         offset = state.bytes_sent
-        state.bytes_sent += grant.chunk_bytes
-        final = state.bytes_sent >= message.size_bytes
+        sent = state.bytes_sent = offset + grant.chunk_bytes
+        final = sent >= message.size_bytes
         transfer = chunk_transfer(message, grant.chunk_bytes, offset, final)
-        if self.uplink is None:
+        uplink = self.uplink
+        if uplink is None:
             raise HostError(f"node {self.node_id} has no uplink attached")
-        self.uplink.send(transfer, transfer.wire_bytes)
+        if batch is None:
+            uplink.send(transfer, transfer.blocks * 8)
+        else:
+            # Coalesced drain: the caller flushes the batch through
+            # Link.send_batch, which replays these sends bit-identically.
+            batch.append((transfer, transfer.blocks * 8))
         if final:
             # Sender-side state is done; receiver-side completion fires when
             # the last chunk lands.
             table.remove(grant.dst, grant.message_id)
-            if message.mtype == MessageType.WREQ:
+            if message.mtype is MessageType.WREQ:
                 self.ids.release(grant.dst, grant.message_id)
 
     # -- forwarded requests (memory node) ------------------------------- #
 
-    def _on_forwarded_request(self, message: MemoryMessage) -> None:
-        """An RREQ/RMWREQ forwarded by the switch = implicit first grant."""
-        if self.controller is None:
-            raise HostError(
-                f"node {self.node_id} received a {message.mtype.value} but has "
-                f"no memory controller attached"
-            )
-        proc = self._cycles(cycles.HOST_RX_RREQ_CYCLES)
-        self.schedule(proc, lambda: self._service_request(message))
-
     def _service_request(self, message: MemoryMessage) -> None:
-        assert self.controller is not None
-        result, done_at = self.controller.execute_message(message, self.now)
-        rres = make_rres(message, created_at=self.now)
+        controller = self.controller
+        assert controller is not None
+        now = self.sim._now
+        result, done_at = controller.execute_message(message, now)
+        rres = make_rres(message, created_at=now)
         state = MessageState(message=rres, data_ready=False)
         self.serving_table.add(rres.dst, rres.message_id, state)
-        wait = max(0.0, done_at - self.now)
-        self.schedule(wait, lambda: self._rres_data_ready(rres, result.data))
+        wait = max(0.0, done_at - now)
+        self.sim.post(wait, partial(self._rres_data_ready, rres, state))
 
-    def _rres_data_ready(self, rres: MemoryMessage, data: bytes) -> None:
-        state = self.serving_table.get(rres.dst, rres.message_id)
+    def _rres_data_ready(self, rres: MemoryMessage, state: MessageState) -> None:
         state.data_ready = True
         # The forwarded request acted as the grant for the first chunk
         # (§3.1.1 step 4): emit it now.  4 grant-queue cycles + 3 TX cycles.
-        first_chunk = min(self.config.chunk_bytes, rres.size_bytes)
-        delay = self._cycles(
-            cycles.HOST_GRANT_QUEUE_READ_CYCLES + cycles.HOST_TX_DATA_CYCLES
-        )
+        size = rres.size_bytes
+        chunk = self.config.chunk_bytes
         grant = Grant(
             src=rres.src,
             dst=rres.dst,
             message_id=rres.message_id,
-            chunk_bytes=first_chunk,
-            granted_at=self.now,
+            chunk_bytes=chunk if chunk < size else size,
+            granted_at=self.sim._now,
             message_uid=rres.uid,
             for_response=True,
         )
-        self.schedule(delay, lambda: self._emit_chunk_if_pending(state, grant))
+        self.sim.post(
+            self._d_grant_read, partial(self._emit_chunk_if_pending, state, grant)
+        )
 
     def _emit_chunk_if_pending(self, state: MessageState, grant: Grant) -> None:
-        self._emit_chunk(grant)
-        while state.pending_grants:
-            self._emit_chunk(state.pending_grants.pop(0))
+        pending = state.pending_grants
+        if not pending:
+            self._emit_chunk(grant)
+            return
+        # Grants piled up while the memory read was in flight (nonzero DRAM
+        # latency): emit the whole granted circuit as one coalesced link
+        # batch — one kernel injection for N chunks instead of N.
+        batch: list = []
+        self._emit_chunk(grant, batch)
+        while pending:
+            self._emit_chunk(pending.pop(0), batch)
+        if batch:
+            uplink = self.uplink
+            assert uplink is not None
+            uplink.send_batch(batch)
 
     # -- data chunks ----------------------------------------------------- #
 
-    def _on_data_chunk(self, transfer: WireTransfer) -> None:
-        proc = self._cycles(cycles.HOST_RX_DATA_CYCLES)
-        self.schedule(proc, lambda: self._absorb_chunk(transfer))
-
     def _absorb_chunk(self, transfer: WireTransfer) -> None:
         message = transfer.message
-        assert message is not None
-        if message.mtype == MessageType.WREQ:
+        mtype = message.mtype
+        if mtype is MessageType.WREQ:
             self._absorb_write_chunk(transfer)
-        elif message.mtype == MessageType.RRES:
+        elif mtype is MessageType.RRES:
             self._absorb_response_chunk(transfer)
         else:
             raise HostError(f"unexpected data chunk of type {message.mtype.value}")
+        release_transfer(transfer)
 
     def _absorb_write_chunk(self, transfer: WireTransfer) -> None:
         """WREQ data landing at the memory node."""
@@ -391,25 +470,22 @@ class EdmHostNic(Process):
             raise HostError(
                 f"node {self.node_id} received WREQ data but has no memory"
             )
-        message = transfer.message
-        assert message is not None
         if transfer.is_final_chunk:
-            self.controller.write(
-                message.address, b"\x00" * message.size_bytes, self.now
-            )
+            message = transfer.message
+            now = self.sim._now
+            self.controller.write(message.address, _zeros(message.size_bytes), now)
             self.messages_completed += 1
-            self.router.fire(message.uid, message, self.now)
+            self.router.fire(message.uid, message, now)
 
     def _absorb_response_chunk(self, transfer: WireTransfer) -> None:
         """RRES data landing back at the compute node."""
         message = transfer.message
-        assert message is not None
         peer = message.src  # the memory node
-        if not self.state_table.contains(peer, message.message_id):
+        state = self.state_table.find(peer, message.message_id)
+        if state is None:
             return  # request already timed out
-        state = self.state_table.get(peer, message.message_id)
-        state.bytes_received += transfer.chunk_bytes
-        if state.bytes_received >= message.size_bytes:
+        received = state.bytes_received = state.bytes_received + transfer.chunk_bytes
+        if received >= message.size_bytes:
             original = state.message
             self.state_table.remove(peer, message.message_id)
             self.ids.release(peer, message.message_id)
@@ -419,7 +495,8 @@ class EdmHostNic(Process):
             self._release_limiter_slot(peer)
             self.messages_completed += 1
             self.router.fire(
-                original.uid, original, self.now, data=transfer.chunk_bytes * b"\x00"
+                original.uid, original, self.sim._now,
+                data=_zeros(transfer.chunk_bytes),
             )
 
     # -- rate limiter plumbing ------------------------------------------- #
@@ -428,7 +505,7 @@ class EdmHostNic(Process):
         backlogged = self.limiter.complete(dst)
         if backlogged is None:
             return
-        if backlogged.mtype == MessageType.WREQ:
+        if backlogged.mtype is MessageType.WREQ:
             self._send_notification(backlogged)
         else:
             self._send_request(backlogged)

@@ -22,17 +22,31 @@ from repro.errors import HostError
 StateKey = Tuple[int, int]  # (peer node id, message id)
 
 
-@dataclass
 class MessageState:
     """One entry of the message state table."""
 
-    message: MemoryMessage
-    local_address: int = 0
-    data_ready: bool = False
-    bytes_sent: int = 0
-    bytes_received: int = 0
-    completion_callback: Optional[Callable[..., None]] = None
-    pending_grants: List["object"] = field(default_factory=list)
+    __slots__ = (
+        "message", "local_address", "data_ready", "bytes_sent",
+        "bytes_received", "completion_callback", "pending_grants",
+    )
+
+    def __init__(
+        self,
+        message: MemoryMessage,
+        local_address: int = 0,
+        data_ready: bool = False,
+        bytes_sent: int = 0,
+        bytes_received: int = 0,
+        completion_callback: Optional[Callable[..., None]] = None,
+        pending_grants: Optional[List[object]] = None,
+    ) -> None:
+        self.message = message
+        self.local_address = local_address
+        self.data_ready = data_ready
+        self.bytes_sent = bytes_sent
+        self.bytes_received = bytes_received
+        self.completion_callback = completion_callback
+        self.pending_grants = [] if pending_grants is None else pending_grants
 
 
 class MessageStateTable:
@@ -57,6 +71,10 @@ class MessageStateTable:
     def contains(self, peer: int, message_id: int) -> bool:
         return (peer, message_id) in self._entries
 
+    def find(self, peer: int, message_id: int) -> Optional[MessageState]:
+        """Like :meth:`get` but returns None on a miss (hot-path lookup)."""
+        return self._entries.get((peer, message_id))
+
     def remove(self, peer: int, message_id: int) -> MessageState:
         key = (peer, message_id)
         try:
@@ -76,7 +94,9 @@ class MessageIdAllocator:
         self._id_space = id_space
 
     def allocate(self, peer: int) -> int:
-        free = self._free.setdefault(peer, deque(range(self._id_space)))
+        free = self._free.get(peer)
+        if free is None:
+            free = self._free[peer] = deque(range(self._id_space))
         if not free:
             raise HostError(
                 f"message-id space exhausted toward peer {peer}; "
@@ -85,7 +105,10 @@ class MessageIdAllocator:
         return free.popleft()
 
     def release(self, peer: int, message_id: int) -> None:
-        self._free.setdefault(peer, deque()).append(message_id)
+        free = self._free.get(peer)
+        if free is None:
+            free = self._free[peer] = deque()
+        free.append(message_id)
 
 
 class NotificationRateLimiter:

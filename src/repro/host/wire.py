@@ -5,60 +5,124 @@ The DES stacks move :class:`WireTransfer` bundles rather than individual
 or per granted data chunk.  Each transfer knows its block count, so link
 transmission delays remain bit-faithful (a block carries 64 payload bits
 and serializes in one 2.56 ns PCS cycle at 25 GbE).
+
+Grant and data-chunk transfers are the hot kinds — one of each per
+granted chunk — so the factories here draw them from a freelist pool;
+the consuming NIC hands exhausted transfers back via
+:func:`release_transfer`.  A transfer must not be released while any
+scheduled event still references it.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.core.messages import Grant, MemoryMessage, Notification
 from repro.errors import HostError
 from repro.phy.encoder import block_count_for_message
 
 
-class TransferKind(enum.Enum):
+class TransferKind(enum.IntEnum):
     """What a wire transfer carries."""
 
-    NOTIFY = "notify"        # /N/ block
-    GRANT = "grant"          # /G/ block
-    REQUEST = "request"      # RREQ or RMWREQ as /M*/ blocks
-    DATA_CHUNK = "chunk"     # a granted chunk of a WREQ or RRES
+    NOTIFY = 0       # /N/ block
+    GRANT = 1        # /G/ block
+    REQUEST = 2      # RREQ or RMWREQ as /M*/ blocks
+    DATA_CHUNK = 3   # a granted chunk of a WREQ or RRES
 
 
-@dataclass
+#: Plain-int aliases for hot-path dispatch (IntEnum members compare equal).
+KIND_NOTIFY = 0
+KIND_GRANT = 1
+KIND_REQUEST = 2
+KIND_DATA_CHUNK = 3
+
+
 class WireTransfer:
     """One contiguous run of EDM blocks on a link."""
 
-    kind: TransferKind
-    src: int
-    dst: int
-    blocks: int
-    message: Optional[MemoryMessage] = None
-    grant: Optional[Grant] = None
-    notification: Optional[Notification] = None
-    chunk_bytes: int = 0
-    chunk_offset: int = 0
-    is_final_chunk: bool = False
+    __slots__ = (
+        "kind", "src", "dst", "blocks", "message", "grant", "notification",
+        "chunk_bytes", "chunk_offset", "is_final_chunk",
+    )
 
-    def __post_init__(self) -> None:
-        if self.blocks <= 0:
-            raise HostError(f"transfer must carry at least one block: {self.blocks}")
+    def __init__(
+        self,
+        kind: int,
+        src: int,
+        dst: int,
+        blocks: int,
+        message: Optional[MemoryMessage] = None,
+        grant: Optional[Grant] = None,
+        notification: Optional[Notification] = None,
+        chunk_bytes: int = 0,
+        chunk_offset: int = 0,
+        is_final_chunk: bool = False,
+    ) -> None:
+        if blocks <= 0:
+            raise HostError(f"transfer must carry at least one block: {blocks}")
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.blocks = blocks
+        self.message = message
+        self.grant = grant
+        self.notification = notification
+        self.chunk_bytes = chunk_bytes
+        self.chunk_offset = chunk_offset
+        self.is_final_chunk = is_final_chunk
 
     @property
     def wire_bytes(self) -> int:
         """Bytes of link occupancy (64 payload bits per block)."""
         return self.blocks * 8
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WireTransfer({TransferKind(self.kind).name}, src={self.src}, "
+            f"dst={self.dst}, blocks={self.blocks})"
+        )
+
+
+#: Message sizes repeat heavily (every chunk of a message class is the same
+#: size), so cache the PHY block count per payload size.
+_block_cache: Dict[int, int] = {}
+
+
+def _blocks_for(size_bytes: int) -> int:
+    blocks = _block_cache.get(size_bytes)
+    if blocks is None:
+        blocks = _block_cache[size_bytes] = block_count_for_message(size_bytes)
+    return blocks
+
+
+#: Freelist of recycled transfers for the high-churn kinds.  Transfers are
+#: fully re-initialized on reuse, so stale fields never leak between lives.
+_pool: List[WireTransfer] = []
+_new_transfer = WireTransfer.__new__
+
+
+def release_transfer(transfer: WireTransfer) -> None:
+    """Return an exhausted grant/chunk transfer to the pool.
+
+    Only call once the transfer can no longer be referenced by any pending
+    event; the payload references are dropped here so pooled transfers do
+    not pin messages alive.
+    """
+    transfer.message = None
+    transfer.grant = None
+    transfer.notification = None
+    _pool.append(transfer)
+
 
 def request_transfer(message: MemoryMessage) -> WireTransfer:
     """Wrap an RREQ/RMWREQ into its /M*/ block run."""
     return WireTransfer(
-        kind=TransferKind.REQUEST,
+        kind=KIND_REQUEST,
         src=message.src,
         dst=message.dst,
-        blocks=block_count_for_message(message.size_bytes),
+        blocks=_blocks_for(message.size_bytes),
         message=message,
     )
 
@@ -66,7 +130,7 @@ def request_transfer(message: MemoryMessage) -> WireTransfer:
 def notify_transfer(notification: Notification) -> WireTransfer:
     """Wrap an explicit demand notification into its /N/ block."""
     return WireTransfer(
-        kind=TransferKind.NOTIFY,
+        kind=KIND_NOTIFY,
         src=notification.src,
         dst=notification.dst,
         blocks=1,
@@ -76,13 +140,21 @@ def notify_transfer(notification: Notification) -> WireTransfer:
 
 def grant_transfer(grant: Grant, to_port: int) -> WireTransfer:
     """Wrap a grant into its /G/ block, addressed to the granted sender."""
-    return WireTransfer(
-        kind=TransferKind.GRANT,
-        src=-1,  # grants originate at the switch, not a host port
-        dst=to_port,
-        blocks=1,
-        grant=grant,
-    )
+    if _pool:
+        t = _pool.pop()
+    else:
+        t = _new_transfer(WireTransfer)
+    t.kind = KIND_GRANT
+    t.src = -1  # grants originate at the switch, not a host port
+    t.dst = to_port
+    t.blocks = 1
+    t.message = None
+    t.grant = grant
+    t.notification = None
+    t.chunk_bytes = 0
+    t.chunk_offset = 0
+    t.is_final_chunk = False
+    return t
 
 
 def chunk_transfer(
@@ -94,13 +166,18 @@ def chunk_transfer(
     """Wrap one granted data chunk of a WREQ/RRES into /M*/ blocks."""
     if chunk_bytes <= 0:
         raise HostError(f"chunk must be positive: {chunk_bytes}")
-    return WireTransfer(
-        kind=TransferKind.DATA_CHUNK,
-        src=message.src,
-        dst=message.dst,
-        blocks=block_count_for_message(chunk_bytes),
-        message=message,
-        chunk_bytes=chunk_bytes,
-        chunk_offset=chunk_offset,
-        is_final_chunk=is_final,
-    )
+    if _pool:
+        t = _pool.pop()
+    else:
+        t = _new_transfer(WireTransfer)
+    t.kind = KIND_DATA_CHUNK
+    t.src = message.src
+    t.dst = message.dst
+    t.blocks = _blocks_for(chunk_bytes)
+    t.message = message
+    t.grant = None
+    t.notification = None
+    t.chunk_bytes = chunk_bytes
+    t.chunk_offset = chunk_offset
+    t.is_final_chunk = is_final
+    return t

@@ -9,7 +9,6 @@ the completion time of each operation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.messages import MemoryMessage, MessageType
@@ -18,13 +17,29 @@ from repro.errors import MemoryError_
 from repro.memctrl.dram import Dram, DramTiming
 
 
-@dataclass
+#: Zero payloads are immutable and reused across messages (the model never
+#: materializes real data on the fabric path).
+_ZEROS: dict = {}
+
+
+def _zeros(nbytes: int) -> bytes:
+    data = _ZEROS.get(nbytes)
+    if data is None:
+        data = _ZEROS[nbytes] = bytes(nbytes)
+    return data
+
+
 class MemoryOperationResult:
     """Outcome of one controller operation."""
 
-    data: bytes
-    latency_ns: float
-    rmw: Optional[RmwResult] = None
+    __slots__ = ("data", "latency_ns", "rmw")
+
+    def __init__(
+        self, data: bytes, latency_ns: float, rmw: Optional[RmwResult] = None
+    ) -> None:
+        self.data = data
+        self.latency_ns = latency_ns
+        self.rmw = rmw
 
 
 class MemoryController:
@@ -93,14 +108,14 @@ class MemoryController:
         self, message: MemoryMessage, now: float = 0.0
     ) -> Tuple[MemoryOperationResult, float]:
         """Dispatch a remote-memory message to the right operation."""
-        if message.mtype == MessageType.RREQ:
+        mtype = message.mtype
+        if mtype is MessageType.RREQ:
             return self.read(message.address, message.read_bytes, now)
-        if message.mtype == MessageType.WREQ:
+        if mtype is MessageType.WREQ:
             # The simulation carries sizes, not real payloads; write zeros of
             # the declared length when no payload bytes accompany the model.
-            data = b"\x00" * message.size_bytes
-            return self.write(message.address, data, now)
-        if message.mtype == MessageType.RMWREQ:
+            return self.write(message.address, _zeros(message.size_bytes), now)
+        if mtype is MessageType.RMWREQ:
             assert message.opcode is not None
             return self.read_modify_write(
                 message.address, message.opcode, message.rmw_args, now

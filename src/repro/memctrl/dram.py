@@ -1,15 +1,21 @@
 """Byte-addressable DRAM model with DDR4-flavoured timing.
 
-The memory node's substrate: a sparse byte store plus an access-latency
+The memory node's substrate: a numpy byte store plus an access-latency
 model.  Timing follows the figures the paper leans on — intra-server DRAM
 access in the tens-to-hundreds of ns (§1), ~82 ns for a local DDR4 access
 (Figure 7), and 64 B burst granularity (§3.1.4).
+
+The byte store is a flat ``uint8`` array materialized lazily on the first
+nonzero write: fabric runs carry sizes rather than payloads, so most
+simulations never allocate it at all, while payload-bearing users (the
+KV store) get vectorized slice reads/writes instead of per-byte loops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+
+import numpy as np
 
 from repro.core.clock import DDR4_BURST_BYTES, LOCAL_DRAM_LATENCY_NS
 from repro.errors import MemoryError_
@@ -38,9 +44,26 @@ class DramTiming:
         """Back-to-back burst spacing when streaming (bandwidth-bound)."""
         return DDR4_BURST_BYTES * 8.0 / self.bandwidth_gbps
 
+    def access_latencies_ns(
+        self, addresses: "np.ndarray", last_row: int = -1
+    ) -> "np.ndarray":
+        """Vectorized row-hit/row-miss timing for a burst-address stream.
+
+        Each address is charged ``row_hit_ns`` when it opens the same row
+        as its predecessor (the first access compares against
+        ``last_row``) and ``row_miss_ns`` otherwise — array timing math
+        for bank/row bookkeeping over a whole access trace at once.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        rows = addresses // self.row_bytes
+        prev = np.empty_like(rows)
+        prev[0] = last_row
+        prev[1:] = rows[:-1]
+        return np.where(rows == prev, self.row_hit_ns, self.row_miss_ns)
+
 
 class Dram:
-    """Sparse byte-addressable memory with open-row tracking.
+    """Byte-addressable memory with open-row tracking.
 
     Reads of unwritten bytes return zeros, like freshly-initialized DRAM in
     the model's idealization.
@@ -51,10 +74,18 @@ class Dram:
             raise MemoryError_(f"memory size must be positive: {size_bytes}")
         self.size_bytes = size_bytes
         self.timing = timing
-        self._store: Dict[int, int] = {}
+        # Lazily materialized numpy byte store; None means all-zero.
+        self._arr: "np.ndarray | None" = None
         self._last_row = -1
         self.reads = 0
         self.writes = 0
+        # Timing constants hoisted out of the per-access path (identical
+        # values to querying the frozen timing dataclass each access).
+        self._row_bytes = timing.row_bytes
+        self._row_hit = timing.row_hit_ns
+        self._row_miss = timing.row_miss_ns
+        self._burst_ns = timing.streaming_ns_per_burst()
+        self._zeros_cache: dict = {}
 
     def _check_range(self, address: int, length: int) -> None:
         if address < 0 or length < 0 or address + length > self.size_bytes:
@@ -63,36 +94,53 @@ class Dram:
                 f"[0, {self.size_bytes})"
             )
 
+    def _zeros(self, length: int) -> bytes:
+        data = self._zeros_cache.get(length)
+        if data is None:
+            data = self._zeros_cache[length] = bytes(length)
+        return data
+
     def read(self, address: int, length: int) -> "tuple[bytes, float]":
         """Read ``length`` bytes; returns (data, latency_ns)."""
         self._check_range(address, length)
-        if not self._store:
+        arr = self._arr
+        if arr is None:
             # Nothing ever written (fabric runs carry sizes, not payloads):
-            # skip the per-byte gather.
-            data = bytes(length)
+            # unwritten memory reads as zeros.
+            data = self._zeros(length)
         else:
-            data = bytes(self._store.get(address + i, 0) for i in range(length))
+            data = arr[address:address + length].tobytes()
         latency = self._access_latency(address, length)
         self.reads += 1
         return data, latency
 
     def write(self, address: int, data: bytes) -> float:
         """Write ``data``; returns latency_ns."""
-        self._check_range(address, len(data))
-        if self._store or any(data):
-            # Zero writes into an untouched store are a no-op: reads
-            # default to zero, so only real payloads pay the byte loop.
-            for i, b in enumerate(data):
-                self._store[address + i] = b
-        latency = self._access_latency(address, len(data))
+        length = len(data)
+        self._check_range(address, length)
+        arr = self._arr
+        if arr is None and any(data):
+            # First real payload: materialize the backing array (zero
+            # writes into untouched memory are a no-op, reads default to
+            # zero either way).
+            arr = self._arr = np.zeros(self.size_bytes, dtype=np.uint8)
+        if arr is not None and length:
+            arr[address:address + length] = np.frombuffer(data, dtype=np.uint8)
+        latency = self._access_latency(address, length)
         self.writes += 1
         return latency
 
     def _access_latency(self, address: int, length: int) -> float:
-        first = self.timing.access_latency_ns(address, self._last_row)
-        self._last_row = (address + max(0, length - 1)) // self.timing.row_bytes
-        extra_bursts = max(0, -(-length // DDR4_BURST_BYTES) - 1)
-        return first + extra_bursts * self.timing.streaming_ns_per_burst()
+        row = address // self._row_bytes
+        first = self._row_hit if row == self._last_row else self._row_miss
+        last = length - 1
+        if last < 0:
+            last = 0
+        self._last_row = (address + last) // self._row_bytes
+        extra_bursts = -(-length // DDR4_BURST_BYTES) - 1
+        if extra_bursts <= 0:
+            return first
+        return first + extra_bursts * self._burst_ns
 
     def read_word(self, address: int) -> "tuple[int, float]":
         """Read one 64-bit word (the RMW granule)."""

@@ -244,7 +244,7 @@ class _CalendarKernel:
 
     __slots__ = (
         "_buckets", "_nbuckets", "_mask", "_width", "_inv_width",
-        "_cur", "_bucket_top", "_live", "_tombstones", "_floor", "_peeked",
+        "_cur", "_cur_abs", "_live", "_tombstones", "_floor", "_peeked",
         "_resize_up", "_resize_down", "_fallbacks",
     )
 
@@ -273,7 +273,7 @@ class _CalendarKernel:
         self._resize_down = nbuckets // 2 - 2 if nbuckets > 8 else 0
         absolute = int(self._floor * self._inv_width)
         self._cur = absolute & self._mask
-        self._bucket_top = (absolute + 1) * width
+        self._cur_abs = absolute
 
     def __len__(self) -> int:
         return self._live
@@ -332,9 +332,9 @@ class _CalendarKernel:
             return None
         buckets = self._buckets
         mask = self._mask
-        width = self._width
+        inv = self._inv_width
         index = self._cur
-        top = self._bucket_top
+        absolute = self._cur_abs
         limit = self._nbuckets
         if limit > self.SCAN_LIMIT:
             limit = self.SCAN_LIMIT
@@ -348,11 +348,16 @@ class _CalendarKernel:
                     self._tombstones -= 1
                     continue
                 break
-            if bucket and bucket[0][0] < top:
+            # Window membership uses the same int(time * inv_width) mapping
+            # as push: comparing times against k*width boundaries disagrees
+            # with the push mapping at exact bucket boundaries (the
+            # reciprocal multiply can round a boundary time into the bucket
+            # below), which would strand the true minimum unscanned.
+            if bucket and int(bucket[0][0] * inv) <= absolute:
                 self._peeked = (bucket[0], index)
                 return self._peeked
             index = (index + 1) & mask
-            top += width
+            absolute += 1
         # Scan budget exhausted with nothing inside its window: the head
         # of the queue is sparse relative to the bucket width.  Fall back
         # to a direct minimum search; if that keeps happening, re-estimate
@@ -387,7 +392,7 @@ class _CalendarKernel:
         bucket = self._buckets[self._cur]
         if bucket:
             entry = bucket[0]
-            if entry[0] < self._bucket_top:
+            if int(entry[0] * self._inv_width) <= self._cur_abs:
                 payload = entry[3]
                 if type(payload) is not _Event or not payload.cancelled:
                     return entry[0]
@@ -403,7 +408,10 @@ class _CalendarKernel:
             bucket = self._buckets[self._cur]
             if bucket:
                 entry = bucket[0]
-                if entry[0] < self._bucket_top and type(entry[3]) is not _Event:
+                if (
+                    type(entry[3]) is not _Event
+                    and int(entry[0] * self._inv_width) <= self._cur_abs
+                ):
                     del bucket[0]
                     self._live -= 1
                     self._floor = entry[0]
@@ -421,7 +429,7 @@ class _CalendarKernel:
         self._floor = time
         absolute = int(time * self._inv_width)
         self._cur = absolute & self._mask
-        self._bucket_top = (absolute + 1) * self._width
+        self._cur_abs = absolute
         if self._live < self._resize_down:
             self._rebuild()
         payload = entry[3]
@@ -441,7 +449,10 @@ class _CalendarKernel:
             bucket = self._buckets[self._cur]
             if bucket:
                 entry = bucket[0]
-                if entry[0] < self._bucket_top and type(entry[3]) is not _Event:
+                if (
+                    type(entry[3]) is not _Event
+                    and int(entry[0] * self._inv_width) <= self._cur_abs
+                ):
                     if entry[0] > limit:
                         return None
                     del bucket[0]
@@ -453,9 +464,24 @@ class _CalendarKernel:
             found = self._scan()
             if found is None:
                 return None
-        if found[0][0] > limit:
+        entry, index = found
+        time = entry[0]
+        if time > limit:
             return None
-        return self.pop()
+        self._peeked = None
+        del self._buckets[index][0]
+        self._live -= 1
+        self._floor = time
+        absolute = int(time * self._inv_width)
+        self._cur = absolute & self._mask
+        self._cur_abs = absolute
+        if self._live < self._resize_down:
+            self._rebuild()
+        payload = entry[3]
+        if type(payload) is _Event:
+            payload.in_queue = False
+            return (time, entry[1], entry[2], payload.callback)
+        return entry
 
     def on_cancel(self, event: _Event) -> None:
         self._live -= 1
@@ -569,6 +595,9 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        # Bound once: post/post_at run millions of times per fabric cell
+        # and the kernel object never changes after construction.
+        self._push_raw = self._queue.push_raw
 
     @property
     def now(self) -> float:
@@ -633,13 +662,13 @@ class Simulator:
         time = self._now + delay
         if not time < MAX_EVENT_TIME:
             raise SimulationError(f"event time must be finite, got {time}")
-        self._queue.push_raw(time, priority, next(self._seq), callback)
+        self._push_raw(time, priority, next(self._seq), callback)
 
     def post_at(self, time: float, callback: EventCallback, *, priority: int = 0) -> None:
         """Fire-and-forget :meth:`schedule_at`."""
         if not self._now <= time < MAX_EVENT_TIME:
             self._check_time(time)
-        self._queue.push_raw(time, priority, next(self._seq), callback)
+        self._push_raw(time, priority, next(self._seq), callback)
 
     def schedule_batch(
         self,

@@ -14,6 +14,7 @@ new demand arrives or a port's busy window expires.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional
 
 from repro.core.clock import PCS_CYCLE_NS
@@ -21,7 +22,13 @@ from repro.core.messages import MessageType
 from repro.core.scheduler import CentralScheduler, Demand, IssuedGrant, SchedulerConfig
 from repro.errors import FabricError
 from repro.host import cycles
-from repro.host.wire import TransferKind, WireTransfer, grant_transfer
+from repro.host.wire import (
+    KIND_DATA_CHUNK,
+    KIND_NOTIFY,
+    KIND_REQUEST,
+    WireTransfer,
+    grant_transfer,
+)
 from repro.sim.engine import Process, Simulator
 from repro.sim.link import Link
 
@@ -43,6 +50,17 @@ class EdmSwitch(Process):
         self._round_handle = None
         self.transfers_forwarded = 0
         self.demands_accepted = 0
+        # Per-port egress accounting: O(1) integer bumps on the hot path,
+        # reduced with numpy in egress_summary().
+        self._egress_transfers: list = []
+        self._egress_bytes: list = []
+        # Per-event pipeline delays, fixed at construction.
+        self._d_classify = cycles.SWITCH_RX_CLASSIFY_CYCLES * cycle_ns
+        self._d_classify_forward = (
+            cycles.SWITCH_RX_CLASSIFY_CYCLES + cycles.SWITCH_FORWARD_CYCLES
+        ) * cycle_ns
+        self._d_forward = cycles.SWITCH_FORWARD_CYCLES * cycle_ns
+        self._d_tx_grant = cycles.SWITCH_TX_GRANT_CYCLES * cycle_ns
 
     # ------------------------------------------------------------------ #
     # wiring                                                             #
@@ -50,6 +68,10 @@ class EdmSwitch(Process):
 
     def attach_port(self, node_id: int, egress_link: Link) -> None:
         self.egress[node_id] = egress_link
+        if node_id >= len(self._egress_transfers):
+            grow = node_id + 1 - len(self._egress_transfers)
+            self._egress_transfers.extend([0] * grow)
+            self._egress_bytes.extend([0] * grow)
 
     def _egress_for(self, node_id: int) -> Link:
         try:
@@ -66,15 +88,20 @@ class EdmSwitch(Process):
 
     def on_ingress(self, transfer: WireTransfer) -> None:
         """Entry point for a transfer arriving from any host uplink."""
-        classify = self._cycles(cycles.SWITCH_RX_CLASSIFY_CYCLES)
-        if transfer.kind == TransferKind.NOTIFY:
-            self.post(classify, lambda: self._accept_notification(transfer))
-        elif transfer.kind == TransferKind.REQUEST:
-            self.post(classify, lambda: self._accept_request(transfer))
-        elif transfer.kind == TransferKind.DATA_CHUNK:
+        kind = transfer.kind
+        if kind == KIND_DATA_CHUNK:
             # Virtual circuit: no parsing, 4 cycles RX->TX clock movement.
-            delay = classify + self._cycles(cycles.SWITCH_FORWARD_CYCLES)
-            self.post(delay, lambda: self._forward(transfer))
+            self.sim.post(
+                self._d_classify_forward, partial(self._forward, transfer)
+            )
+        elif kind == KIND_NOTIFY:
+            self.sim.post(
+                self._d_classify, partial(self._accept_notification, transfer)
+            )
+        elif kind == KIND_REQUEST:
+            self.sim.post(
+                self._d_classify, partial(self._accept_request, transfer)
+            )
         else:
             raise FabricError(f"switch cannot ingest transfer kind {transfer.kind}")
 
@@ -86,7 +113,7 @@ class EdmSwitch(Process):
             dst=notification.dst,
             message_id=notification.message_id,
             total_bytes=notification.size_bytes,
-            notified_at=self.now,
+            notified_at=self.sim._now,
             message_uid=notification.message_uid,
         )
         self.scheduler.notify(demand)
@@ -104,7 +131,7 @@ class EdmSwitch(Process):
             dst=message.src,
             message_id=message.message_id,
             total_bytes=message.response_demand_bytes,
-            notified_at=self.now,
+            notified_at=self.sim._now,
             message_uid=message.uid,
             carried_request=transfer,
         )
@@ -113,9 +140,36 @@ class EdmSwitch(Process):
         self._arm_round()
 
     def _forward(self, transfer: WireTransfer) -> None:
-        link = self._egress_for(transfer.dst)
-        link.send(transfer, transfer.wire_bytes)
+        dst = transfer.dst
+        link = self._egress_for(dst)
+        nbytes = transfer.blocks * 8
+        link.send(transfer, nbytes)
         self.transfers_forwarded += 1
+        self._egress_transfers[dst] += 1
+        self._egress_bytes[dst] += nbytes
+
+    def egress_summary(self) -> Dict[str, object]:
+        """Vectorized per-port egress accounting (numpy reduction).
+
+        Returns per-port forwarded-transfer and byte counts plus their
+        aggregate statistics; the per-event path only bumps integers, so
+        the array math runs once at collection time.
+        """
+        import numpy as np
+
+        transfers = np.asarray(self._egress_transfers, dtype=np.int64)
+        nbytes = np.asarray(self._egress_bytes, dtype=np.int64)
+        total = int(nbytes.sum())
+        return {
+            "per_port_transfers": transfers,
+            "per_port_bytes": nbytes,
+            "total_transfers": int(transfers.sum()),
+            "total_bytes": total,
+            "mean_bytes_per_port": float(nbytes.mean()) if len(nbytes) else 0.0,
+            "max_port_share": (
+                float(nbytes.max() / total) if total else 0.0
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     # scheduling rounds                                                  #
@@ -131,7 +185,7 @@ class EdmSwitch(Process):
         stays busy while the next maximal matching forms).
         """
         fire_at = (
-            self.now + self.scheduler.config.matching_latency_ns
+            self.sim._now + self.scheduler.config.matching_latency_ns
             if at is None
             else at
         )
@@ -149,11 +203,12 @@ class EdmSwitch(Process):
     def _run_round(self) -> None:
         self._round_armed_at = None
         self._round_handle = None
-        issued = self.scheduler.schedule(self.now)
+        now = self.sim._now
+        issued = self.scheduler.schedule(now)
         for item in issued:
             self._deliver_grant(item)
         if self.scheduler.pending_demands > 0:
-            next_release = self.scheduler.next_release_after(self.now)
+            next_release = self.scheduler.next_release_after(now)
             if next_release is not None:
                 self._arm_round(at=next_release)
             elif not issued:
@@ -165,19 +220,19 @@ class EdmSwitch(Process):
                 self._arm_round()
 
     def _deliver_grant(self, item: IssuedGrant) -> None:
-        if item.is_first_for_rres and item.demand.carried_request is not None:
+        demand = item.demand
+        if item.is_first_for_rres and demand.carried_request is not None:
             # The buffered RREQ/RMWREQ *is* the first grant (§3.1.1 step 4):
             # forward it to the memory node through the new circuit.
-            request: WireTransfer = item.demand.carried_request
-            delay = self._cycles(cycles.SWITCH_FORWARD_CYCLES)
-            self.post(delay, lambda: self._forward(request))
+            self.sim.post(
+                self._d_forward, partial(self._forward, demand.carried_request)
+            )
             return
         # Otherwise a /G/ block to the data sender (WREQ: the compute node;
         # RRES chunks beyond the first: the memory node).
-        sender = item.demand.src
+        sender = demand.src
         transfer = grant_transfer(item.grant, sender)
-        delay = self._cycles(cycles.SWITCH_TX_GRANT_CYCLES)
-        self.post(
-            delay,
-            lambda: self._egress_for(sender).send(transfer, transfer.wire_bytes),
+        self.sim.post(
+            self._d_tx_grant,
+            partial(self._egress_for(sender).send, transfer, transfer.blocks * 8),
         )

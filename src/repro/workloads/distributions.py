@@ -43,20 +43,25 @@ class SizeCdf:
             last_s, last_p = size, prob
         if abs(self.points[-1][1] - 1.0) > 1e-9:
             raise WorkloadError(f"CDF must end at probability 1: {self.points}")
+        # Sampling columns cached once: sample() runs per generated
+        # message and must not rebuild these lists on every draw.
+        object.__setattr__(self, "_sizes", [s for s, _ in self.points])
+        object.__setattr__(self, "_probs", [p for _, p in self.points])
 
     @property
     def sizes(self) -> List[int]:
-        return [s for s, _ in self.points]
+        return list(self._sizes)
 
     @property
     def probs(self) -> List[float]:
-        return [p for _, p in self.points]
+        return list(self._probs)
 
     def sample(self, rng: np.random.Generator) -> int:
-        u = float(rng.random())
-        idx = bisect.bisect_left(self.probs, u)
-        idx = min(idx, len(self.points) - 1)
-        return self.points[idx][0]
+        probs = self._probs
+        idx = bisect.bisect_left(probs, rng.random())
+        if idx >= len(probs):
+            idx = len(probs) - 1
+        return self._sizes[idx]
 
     def mean_bytes(self) -> float:
         mean = 0.0

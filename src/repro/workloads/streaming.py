@@ -72,14 +72,20 @@ class SyntheticWorkload(Workload):
     ) -> Iterator[Tuple[float, int, int, Proto]]:
         spec = self.spec
         rng = substream(spec.seed, src)
+        exponential = rng.exponential
+        integers = rng.integers
+        uniform = rng.random
+        sample = spec.size_cdf.sample
+        write_fraction = spec.write_fraction
+        hi = spec.num_nodes - 1
         t = 0.0
         for seq in range(per_node):
-            t += float(rng.exponential(gap_ns))
-            dst = int(rng.integers(0, spec.num_nodes - 1))
+            t += float(exponential(gap_ns))
+            dst = int(integers(0, hi))
             if dst >= src:
                 dst += 1
-            size = spec.size_cdf.sample(rng)
-            is_read = bool(rng.random() >= spec.write_fraction)
+            size = sample(rng)
+            is_read = bool(uniform() >= write_fraction)
             yield (t, src, seq, (src, dst, size, t, is_read))
 
     def _incast_stream(

@@ -10,6 +10,7 @@ from repro.cli import main
 from repro.errors import BenchmarkError
 from repro.experiments.benchgate import (
     DEFAULT_TOLERANCE_PCT,
+    baseline_warnings,
     gate_failures,
     gate_report,
     gate_tolerance_pct,
@@ -116,6 +117,75 @@ class TestGate:
         grown = copy.deepcopy(_payload())
         grown["sweep"]["wheel"] = {"events": 1, "events_per_s": 1}
         assert gate_failures(_payload(), grown) == []
+
+
+def _with_fabrics(payload, edm=100_000, pfc=100_000):
+    out = copy.deepcopy(payload)
+    out["sweep"]["calendar"]["by_fabric"] = {
+        "edm": {"events": 1, "wall_s": 1.0, "events_per_s": edm},
+        "pfc": {"events": 1, "wall_s": 1.0, "events_per_s": pfc},
+    }
+    return out
+
+
+class TestPerFabricGate:
+    def test_fabric_regression_fails_despite_healthy_aggregate(self):
+        # A one-fabric collapse hidden by speedups elsewhere: the
+        # aggregate holds, the per-fabric series must still fail.
+        base = _with_fabrics(_payload())
+        cur = _with_fabrics(_payload(), edm=40_000, pfc=200_000)
+        failures = gate_failures(base, cur)
+        assert len(failures) == 1
+        assert "sweep.calendar.by_fabric.edm.events_per_s" in failures[0]
+
+    def test_identical_fabrics_pass(self):
+        base = _with_fabrics(_payload())
+        assert gate_failures(base, copy.deepcopy(base)) == []
+
+    def test_old_baseline_without_by_fabric_does_not_fail(self):
+        # Schema growth: the committed baseline predates the per-fabric
+        # split; a current payload that has it must still gate cleanly
+        # on the aggregate alone.
+        assert gate_failures(_payload(), _with_fabrics(_payload())) == []
+
+    def test_missing_fabric_series_fails(self):
+        base = _with_fabrics(_payload())
+        cur = copy.deepcopy(base)
+        del cur["sweep"]["calendar"]["by_fabric"]["edm"]
+        failures = gate_failures(base, cur)
+        assert len(failures) == 1
+        assert "missing or zero" in failures[0]
+
+    def test_fabric_series_respect_tolerance_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE_PCT", "60")
+        base = _with_fabrics(_payload())
+        cur = _with_fabrics(_payload(), edm=45_000)  # -55%: ok at 60%
+        assert gate_failures(base, cur) == []
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE_PCT", "50")
+        assert len(gate_failures(base, cur)) == 1
+
+
+class TestDirtyBaselineWarning:
+    def test_clean_baseline_no_warnings(self):
+        clean = _payload()
+        clean["git"] = {"commit": "a" * 40, "dirty": False}
+        assert baseline_warnings(clean) == []
+        assert baseline_warnings(_payload()) == []  # no git block at all
+
+    def test_dirty_baseline_warns(self):
+        dirty = _payload()
+        dirty["git"] = {"commit": "b" * 40, "dirty": True}
+        warnings = baseline_warnings(dirty)
+        assert len(warnings) == 1
+        assert "dirty working tree" in warnings[0]
+        assert "b" * 12 in warnings[0]
+
+    def test_dirty_warning_in_report_but_gate_passes(self):
+        dirty = _payload()
+        dirty["git"] = {"commit": "c" * 40, "dirty": True}
+        report = gate_report(dirty, _payload())
+        assert "WARNING" in report and "dirty working tree" in report
+        assert gate_failures(dirty, _payload()) == []
 
 
 class TestCliGate:

@@ -88,18 +88,16 @@ class TestEndToEndMirroring:
         # the backup's scheduler state matches the primary's.
         from repro.core.scheduler import CentralScheduler, Demand, SchedulerConfig
 
-        import dataclasses
-
         config = SchedulerConfig(num_ports=4, link_gbps=100.0, chunk_bytes=256)
         primary, backup = CentralScheduler(config), CentralScheduler(config)
 
         # Each switch parses its own copy of the mirrored wire message and
         # builds its own demand state.
         def to_primary(d):
-            primary.notify(dataclasses.replace(d))
+            primary.notify(d.clone())
 
         def to_backup(d):
-            backup.notify(dataclasses.replace(d))
+            backup.notify(d.clone())
 
         sender = MirroredSender(to_primary, to_backup)
         for i in range(5):
