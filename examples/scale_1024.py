@@ -6,10 +6,15 @@ production scale.  This example runs the §4.3.1 microbenchmark on a
 fabric, printing completion statistics and the simulator's events/sec so
 the throughput at scale is visible.
 
+``--shards N`` turns on conservative-parallel sharding for fabrics that
+support it (EDM; note EDM's 9-bit node ids cap it at ``--nodes 512``).
+``examples/scale_8192.py`` reuses :func:`run_point` as its smoke driver.
+
 Run::
 
     PYTHONPATH=src python examples/scale_1024.py [--nodes 1024]
     [--messages 20000] [--kernel calendar|heap] [--fabrics IRD,DCTCP]
+    [--shards 4]
 """
 
 import argparse
@@ -20,16 +25,56 @@ from repro.sim import process_events_executed
 from repro.workloads.synthetic import microbenchmark
 
 
-def main() -> None:
+def build_arg_parser(
+    nodes: int = 1024, fabrics: str = "IRD,DCTCP"
+) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--nodes", type=int, default=1024)
+    parser.add_argument("--nodes", type=int, default=nodes)
     parser.add_argument("--messages", type=int, default=20_000)
     parser.add_argument("--load", type=float, default=0.7)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--kernel", type=str, default="calendar")
-    parser.add_argument("--fabrics", type=str, default="IRD,DCTCP")
-    args = parser.parse_args()
+    parser.add_argument("--fabrics", type=str, default=fabrics)
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="conservative-parallel shards (fabrics with sharding support)",
+    )
+    return parser
 
+
+def run_point(
+    name: str,
+    messages,
+    *,
+    nodes: int,
+    seed: int,
+    kernel: str,
+    shards: int = 1,
+    deadline_ns: float = 50_000_000.0,
+) -> None:
+    """Run one fabric over ``messages`` and print its scale report line."""
+    config = ClusterConfig(
+        num_nodes=nodes, link_gbps=100.0, seed=seed, kernel=kernel,
+        shards=shards,
+    )
+    fabric = fabric_by_name(name, config)
+    sharded = shards > 1 and fabric.supports_sharding
+    events_before = process_events_executed()
+    start = time.perf_counter()
+    result = fabric.run(messages, deadline_ns=deadline_ns)
+    wall = time.perf_counter() - start
+    events = process_events_executed() - events_before
+    mean = result.mean_latency_ns()
+    mode = f"{shards} shards" if sharded else f"{kernel} kernel"
+    print(
+        f"{name:>9}: {len(result.records)}/{len(messages)} completed, "
+        f"mean latency {mean:8.1f} ns | {events} events in {wall:.2f}s "
+        f"({mode}, {events / wall / 1e3:.0f}k ev/s)"
+    )
+
+
+def main() -> None:
+    args = build_arg_parser().parse_args()
     print(f"generating {args.messages} messages across {args.nodes} nodes ...")
     messages = microbenchmark(
         num_nodes=args.nodes,
@@ -38,23 +83,11 @@ def main() -> None:
         message_count=args.messages,
         seed=args.seed,
     )
-
     for name in args.fabrics.split(","):
-        config = ClusterConfig(
-            num_nodes=args.nodes, link_gbps=100.0,
-            seed=args.seed, kernel=args.kernel,
-        )
-        fabric = fabric_by_name(name, config)
-        events_before = process_events_executed()
-        start = time.perf_counter()
-        result = fabric.run(messages, deadline_ns=50_000_000.0)
-        wall = time.perf_counter() - start
-        events = process_events_executed() - events_before
-        mean = result.mean_latency_ns()
-        print(
-            f"{name:>9}: {len(result.records)}/{len(messages)} completed, "
-            f"mean latency {mean:8.1f} ns | {events} events in {wall:.2f}s "
-            f"({args.kernel} kernel, {events / wall / 1e3:.0f}k ev/s)"
+        run_point(
+            name, messages,
+            nodes=args.nodes, seed=args.seed,
+            kernel=args.kernel, shards=args.shards,
         )
 
 

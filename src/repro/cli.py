@@ -161,6 +161,7 @@ def _figure8a_options(args: argparse.Namespace) -> Dict[str, Any]:
         seed=args.seed,
         fabric_names=_parse_fabrics(args.fabrics),
         kernel=args.kernel,
+        shards=args.shards,
     )
     return {"loads": _parse_loads(args.loads), "scale": scale}
 
@@ -172,6 +173,7 @@ def _figure8b_options(args: argparse.Namespace) -> Dict[str, Any]:
         seed=args.seed,
         fabric_names=_parse_fabrics(args.fabrics),
         kernel=args.kernel,
+        shards=args.shards,
     )
     return {"apps": args.apps.split(",") if args.apps else None, "scale": scale}
 
@@ -199,6 +201,7 @@ _RUN_FLAG_DEFAULTS = {
     "profiles": "",
     "ops_per_client": 0,
     "kernel": DEFAULT_KERNEL,
+    "shards": 1,
 }
 
 
@@ -290,13 +293,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
     elif name == "serving":
         _warn_ignored_flags(
             name, args,
-            ("loads", "apps", "fabrics", "families", "messages"),
+            ("loads", "apps", "fabrics", "families", "messages", "shards"),
         )
         options = _serving_options(args)
     elif name == "ablations":
         _warn_ignored_flags(
             name, args,
-            ("loads", "apps", "fabrics", "profiles", "ops_per_client"),
+            ("loads", "apps", "fabrics", "profiles", "ops_per_client", "shards"),
         )
         options = {
             "num_nodes": args.nodes or 16,
@@ -313,7 +316,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             name, args,
             (
                 "nodes", "messages", "seed", "loads", "apps", "fabrics",
-                "families", "profiles", "ops_per_client", "kernel",
+                "families", "profiles", "ops_per_client", "kernel", "shards",
             ),
         )
         options = {}
@@ -367,6 +370,8 @@ def _scenario_options(args: argparse.Namespace) -> Dict[str, Any]:
         options["message_count"] = args.messages
     if args.kernel != DEFAULT_KERNEL:
         options["kernel"] = args.kernel
+    if getattr(args, "shards", 1) != 1:
+        options["shards"] = args.shards
     return options
 
 
@@ -412,6 +417,9 @@ def _cmd_bench_kernel(args: argparse.Namespace) -> None:
         seed=args.seed,
         jobs=args.jobs,
         fabric_names=_parse_fabrics(args.fabrics),
+        shards=args.shards,
+        sharded_nodes=args.sharded_nodes,
+        sharded_messages=args.sharded_messages,
     )
     print(format_kernel_bench(payload))
     if args.out:
@@ -469,6 +477,23 @@ def _add_scale_args(
         "--kernel", type=str, default=DEFAULT_KERNEL, choices=KERNELS,
         help="event-queue kernel (results are bit-identical across kernels)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="conservative-parallel shards per simulation (default 1 = "
+        "serial; sharded replay is bit-identical to serial)",
+    )
+
+
+#: Shared epilog for subcommands that accept both parallelism knobs.  The
+#: README's "Scaling up" section documents the same contract — keep the
+#: two in sync (CI greps for the marker phrases).
+_SCALING_EPILOG = (
+    "scaling up: --jobs N runs independent grid cells in worker processes "
+    "(embarrassingly parallel); --shards N splits one simulation into "
+    "conservative-parallel shards (fabrics that support it, e.g. EDM). "
+    "Both knobs are bit-identical to their serial equivalents — see "
+    "docs/ARCHITECTURE.md and docs/DETERMINISM.md."
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -489,20 +514,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(f7, out_default=None)
     f7.set_defaults(fn=_cmd_figure7)
 
-    f8a = sub.add_parser("figure8a", help="Figure 8a: latency vs load")
+    f8a = sub.add_parser(
+        "figure8a", help="Figure 8a: latency vs load", epilog=_SCALING_EPILOG
+    )
     _add_scale_args(f8a, nodes=24, messages=8000)
     f8a.add_argument("--loads", type=str, default="0.2,0.5,0.8")
     _add_runner_args(f8a)
     f8a.set_defaults(fn=_cmd_figure8a)
 
-    f8b = sub.add_parser("figure8b", help="Figure 8b: MCT on app traces")
+    f8b = sub.add_parser(
+        "figure8b", help="Figure 8b: MCT on app traces", epilog=_SCALING_EPILOG
+    )
     _add_scale_args(f8b, nodes=12, messages=1200)
     f8b.add_argument("--apps", type=str, default="")
     _add_runner_args(f8b)
     f8b.set_defaults(fn=_cmd_figure8b)
 
     run = sub.add_parser(
-        "run", help="run any registered experiment through the parallel runner"
+        "run", help="run any registered experiment through the parallel runner",
+        epilog=_SCALING_EPILOG,
     )
     run.add_argument("experiment", nargs="?", default=None)
     run.add_argument("--list", action="store_true", help="list experiments")
@@ -534,7 +564,8 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_list = scenario_sub.add_parser("list", help="list the catalog")
     scenario_list.set_defaults(fn=_cmd_scenario)
     scenario_run = scenario_sub.add_parser(
-        "run", help="run scenarios through the parallel runner"
+        "run", help="run scenarios through the parallel runner",
+        epilog=_SCALING_EPILOG,
     )
     scenario_run.add_argument(
         "names", nargs="*", default=[],
@@ -555,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--kernel", type=str, default=DEFAULT_KERNEL, choices=KERNELS,
         help="event-queue kernel (results are bit-identical across kernels)",
+    )
+    scenario_run.add_argument(
+        "--shards", type=int, default=1,
+        help="conservative-parallel shards per simulation (EDM scenarios "
+        "only; errors on fabrics without sharding support)",
     )
     _add_runner_args(scenario_run)
     scenario_run.set_defaults(fn=_cmd_scenario)
@@ -583,6 +619,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--fabrics", type=str, default="",
         help="comma-separated fabric names (default: all seven)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for the sharded-speedup section",
+    )
+    bench.add_argument(
+        "--sharded-nodes", type=int, default=512,
+        help="cluster size for the sharded-speedup section (EDM wire "
+        "format caps node ids at 9 bits, i.e. 512 nodes)",
+    )
+    bench.add_argument(
+        "--sharded-messages", type=int, default=20_000,
+        help="message count for the sharded-speedup section",
     )
     bench.add_argument(
         "--out", type=str, default="BENCH_kernel.json",

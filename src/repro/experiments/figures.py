@@ -206,6 +206,11 @@ class Figure8aScale:
     deadline_ns: float = 2_000_000_000.0
     fabric_names: Optional[Sequence[str]] = None  # None = all seven
     kernel: str = DEFAULT_KERNEL
+    #: Conservative-parallel shards per simulation.  Fabrics that support
+    #: sharding (EDM) split their event loop; the rest run serial — both
+    #: produce bit-identical artifacts either way, so this is purely a
+    #: wall-clock knob (docs/DETERMINISM.md).
+    shards: int = 1
 
 
 def _selected_fabric_names(names: Optional[Sequence[str]]) -> List[str]:
@@ -231,6 +236,7 @@ def _scale_params(scale) -> Dict[str, object]:
         "message_count": scale.message_count,
         "deadline_ns": scale.deadline_ns,
         "kernel": getattr(scale, "kernel", DEFAULT_KERNEL),
+        "shards": getattr(scale, "shards", 1),
     }
 
 
@@ -240,6 +246,7 @@ def _cluster_config(cell: Cell) -> ClusterConfig:
         link_gbps=cell.param("link_gbps"),
         seed=cell.seed,
         kernel=cell.param("kernel", DEFAULT_KERNEL),
+        shards=cell.param("shards", 1),
     )
 
 
@@ -428,6 +435,8 @@ class Figure8bScale:
     deadline_ns: float = 5_000_000_000.0
     fabric_names: Optional[Sequence[str]] = None
     kernel: str = DEFAULT_KERNEL
+    #: Conservative-parallel shards per simulation (see Figure8aScale).
+    shards: int = 1
 
 
 def _figure8b_cells(

@@ -174,6 +174,10 @@ class ClusterConfig:
     max_active_per_pair: int = 3
     seed: int = 0
     kernel: str = DEFAULT_KERNEL
+    #: Conservative-parallel shards for a single run (1 = serial).  Only
+    #: fabrics with ``supports_sharding`` honour values above 1; the
+    #: sharded replay is bit-identical to serial (docs/DETERMINISM.md).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.num_nodes < 2:
@@ -186,12 +190,33 @@ class ClusterConfig:
             raise FabricError(
                 f"unknown kernel {self.kernel!r} (choose from {', '.join(KERNELS)})"
             )
+        if self.shards < 1:
+            raise FabricError(f"shards must be >= 1: {self.shards}")
+        if self.shards > 1:
+            # Shard 0 holds the switch; each remaining shard needs at
+            # least one host, and the conservative window needs a
+            # nonzero lookahead from link propagation.
+            if self.shards - 1 > self.num_nodes:
+                raise FabricError(
+                    f"{self.shards} shards need >= {self.shards - 1} nodes, "
+                    f"have {self.num_nodes}"
+                )
+            if self.propagation_ns <= 0:
+                raise FabricError(
+                    "sharded runs need positive propagation_ns for lookahead"
+                )
 
 
 class Fabric(abc.ABC):
     """A fabric model that can run an offered workload to completion."""
 
     name: str = "fabric"
+
+    #: Whether this model honours ``ClusterConfig.shards > 1``.  Callers
+    #: that thread a ``--shards`` flag (CLI, scenario engine) check this
+    #: up front so unsupported combinations fail loudly instead of
+    #: silently running serial.
+    supports_sharding: bool = False
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config

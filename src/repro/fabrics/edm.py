@@ -5,12 +5,26 @@ Builds a star topology — every node's NIC uplinks to one
 chunking — and replays an offered workload through the real protocol:
 RREQs as implicit notifications, WREQs behind explicit /N/ + /G/
 exchanges, data moving as granted chunks through PHY virtual circuits.
+
+Every component schedules through a static sequence-number lane (the
+workload injector is lane 0, the switch lane 1, host ``h`` lane ``2+h``;
+see ``repro.sim.engine.LaneView``), so event tie order is a property of
+the component that scheduled the event — not of global scheduling order.
+That is what makes conservative sharding exact: with
+``ClusterConfig.shards > 1`` the cluster is cut by a
+:class:`~repro.sim.shard.ShardPlanner` (switch alone in shard 0, hosts
+packed contiguously across the rest), cross-shard links become
+:class:`~repro.sim.link.ShardLink` mailboxes, and the merged run replays
+the serial event order bit-identically (``tests/test_shard_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import itertools
+from functools import partial
+from typing import Dict, List, Optional, Tuple
 
+from repro.core import messages as _messages
 from repro.core.scheduler import Policy, SchedulerConfig
 from repro.errors import FabricError
 from repro.fabrics.base import (
@@ -24,17 +38,47 @@ from repro.fabrics.base import (
 from repro.host.nic import Completion, CompletionRouter, EdmHostNic, HostConfig
 from repro.memctrl.controller import MemoryController
 from repro.memctrl.dram import DramTiming
-from repro.sim.context import SimContext
+from repro.sim.context import SimContext, StatsSink
 from repro.sim.engine import Simulator
-from repro.sim.link import Link
+from repro.sim.link import Link, ShardLink
+from repro.sim.rng import make_rng
+from repro.sim.shard import (
+    ShardPlan,
+    ShardPlanner,
+    ShardRuntime,
+    ShardedSimulator,
+)
+
+#: Route key of the single switch in the star topology's shard plan.
+SWITCH_KEY = ("switch",)
+
+#: Sequence lanes are static: injector 0, switch 1, host h at 2 + h.
+SWITCH_LANE = 1
+HOST_LANE_BASE = 2
+
+
+def edm_shard_plan(config: ClusterConfig) -> ShardPlan:
+    """The canonical EDM cut: switch alone in shard 0, hosts elsewhere."""
+    planner = ShardPlanner()
+    planner.add_node(SWITCH_KEY, weight=config.num_nodes / 2.0, pin=0)
+    for node in range(config.num_nodes):
+        planner.add_node(("nic", node))
+        planner.add_edge(SWITCH_KEY, ("nic", node), config.propagation_ns)
+    return planner.plan(config.shards)
 
 
 class EdmCluster:
     """A wired EDM cluster: N NICs, one switch, duplex links.
 
-    All components share one :class:`SimContext` (clock + RNG + stats);
-    pass ``context`` to join a cluster to an existing simulation, else a
-    fresh one is created with the config's kernel.
+    All components share one :class:`SimContext` (clock + RNG + stats) but
+    schedule through per-component seq lanes; pass ``context`` to join a
+    cluster to an existing simulation, else a fresh one is created with
+    the config's kernel.
+
+    With ``plan``/``runtime`` set, only the components this shard owns are
+    built: links whose far end lives elsewhere become
+    :class:`~repro.sim.link.ShardLink` writers into the runtime's outbox,
+    and locally-owned ingress points register as the runtime's receivers.
     """
 
     def __init__(
@@ -46,9 +90,13 @@ class EdmCluster:
         max_iterations: Optional[int] = None,
         early_release: bool = True,
         context: Optional[SimContext] = None,
+        plan: Optional[ShardPlan] = None,
+        runtime: Optional[ShardRuntime] = None,
     ) -> None:
         from repro.switchfab.switch import EdmSwitch  # local: avoid cycle
 
+        if (plan is None) != (runtime is None):
+            raise FabricError("sharded builds need both plan and runtime")
         self.config = config
         self.ctx = context if context is not None else SimContext(
             sim=Simulator(kernel=config.kernel)
@@ -64,7 +112,14 @@ class EdmCluster:
             max_iterations=max_iterations,
             early_release=early_release,
         )
-        self.switch = EdmSwitch(self.ctx, scheduler_config)
+        shard_id = runtime.shard_id if runtime is not None else 0
+        switch_local = plan is None or plan.shard_of(SWITCH_KEY) == shard_id
+        switch_ctx = self.ctx.lane(SWITCH_LANE)
+        self.switch = (
+            EdmSwitch(switch_ctx, scheduler_config) if switch_local else None
+        )
+        if runtime is not None and self.switch is not None:
+            runtime.register(SWITCH_KEY, self.switch.on_ingress)
         host_config = HostConfig(
             chunk_bytes=config.chunk_bytes,
             max_active_per_pair=config.max_active_per_pair,
@@ -77,21 +132,46 @@ class EdmCluster:
         self.uplinks: Dict[int, Link] = {}
         self.downlinks: Dict[int, Link] = {}
         for node in range(config.num_nodes):
-            nic = EdmHostNic(self.ctx, node, self.router, host_config)
-            nic.attach_memory(MemoryController(memory_bytes, timing))
-            uplink = Link(
-                self.ctx, config.link_gbps, config.propagation_ns,
-                receiver=self.switch.on_ingress, name=f"up{node}",
-            )
-            downlink = Link(
-                self.ctx, config.link_gbps, config.propagation_ns,
-                receiver=nic.on_wire, name=f"down{node}",
-            )
-            nic.attach_uplink(uplink)
-            self.switch.attach_port(node, downlink)
-            self.nics[node] = nic
-            self.uplinks[node] = uplink
-            self.downlinks[node] = downlink
+            node_key = ("nic", node)
+            node_local = plan is None or plan.shard_of(node_key) == shard_id
+            if node_local:
+                # NIC and uplink share the host's lane: every event a host
+                # schedules carries a seq the host's shard can reproduce.
+                host_ctx = self.ctx.lane(HOST_LANE_BASE + node)
+                nic = EdmHostNic(host_ctx, node, self.router, host_config)
+                nic.attach_memory(MemoryController(memory_bytes, timing))
+                if switch_local:
+                    uplink = Link(
+                        host_ctx, config.link_gbps, config.propagation_ns,
+                        receiver=self.switch.on_ingress, name=f"up{node}",
+                    )
+                else:
+                    uplink = ShardLink(
+                        host_ctx, config.link_gbps, config.propagation_ns,
+                        route_key=SWITCH_KEY, outbox=runtime.outbox,
+                        name=f"up{node}",
+                    )
+                nic.attach_uplink(uplink)
+                self.nics[node] = nic
+                self.uplinks[node] = uplink
+                if runtime is not None:
+                    runtime.register(node_key, nic.on_wire)
+            if switch_local:
+                # Downlinks transmit on behalf of the switch, so they draw
+                # from the switch's lane and live in the switch's shard.
+                if node_local:
+                    downlink = Link(
+                        switch_ctx, config.link_gbps, config.propagation_ns,
+                        receiver=self.nics[node].on_wire, name=f"down{node}",
+                    )
+                else:
+                    downlink = ShardLink(
+                        switch_ctx, config.link_gbps, config.propagation_ns,
+                        route_key=node_key, outbox=runtime.outbox,
+                        name=f"down{node}",
+                    )
+                self.switch.attach_port(node, downlink)
+                self.downlinks[node] = downlink
 
     def nic(self, node: int) -> EdmHostNic:
         try:
@@ -100,10 +180,119 @@ class EdmCluster:
             raise FabricError(f"no node {node} in this cluster") from exc
 
 
+def _launch_offered(
+    cluster: EdmCluster,
+    sink: List[Tuple[int, float, object]],
+    write_index: Dict[Tuple[int, int], int],
+    message: OfferedMessage,
+) -> None:
+    """Issue one offered message inside its source node's shard.
+
+    Completion records land in ``sink`` as ``(lane, completed_at, tag)``
+    in event-execution order; ``tag`` is the offered uid where the
+    completion fires in this shard, or ``("w", src, wire_uid)`` for a
+    write completing at a remote memory node, resolved at merge time
+    through ``write_index`` (wire uids are unique per source process, and
+    a source node lives in exactly one shard).
+    """
+    nic = cluster.nic(message.src)
+    address = (message.uid * 64) % (1 << 19)
+    if message.is_read:
+
+        def on_read_done(completion: Completion, offered=message) -> None:
+            sink.append(
+                (HOST_LANE_BASE + offered.src, completion.completed_at, offered.uid)
+            )
+
+        nic.read(message.dst, address, message.size_bytes, on_read_done)
+    else:
+
+        def on_write_done(completion: Completion, offered=message) -> None:
+            # Reached only when src and dst share a shard (the completion
+            # fires at the memory node, where this callback is registered
+            # only if the issuing NIC lives in the same kernel).
+            sink.append(
+                (HOST_LANE_BASE + offered.dst, completion.completed_at, offered.uid)
+            )
+
+        wire = nic.write(message.dst, address, message.size_bytes, on_write_done)
+        write_index[(message.src, wire.uid)] = message.uid
+
+
+def _build_edm_shard(
+    shard_id: int,
+    config: ClusterConfig,
+    policy: Policy,
+    dram_timing: DramTiming,
+    max_iterations: Optional[int],
+    early_release: bool,
+    plan: ShardPlan,
+    ordered: Tuple[OfferedMessage, ...],
+) -> ShardRuntime:
+    """Build one shard's cluster slice, inject its share of the workload."""
+    # Namespace wire-message uids per shard.  Forked workers inherit the
+    # parent's counter position, so without this two workers would mint
+    # colliding uids and a shard-local CompletionRouter could mis-fire a
+    # registration against a remote message that happens to share the
+    # number.  Uid *values* never enter timing or ordering decisions, so
+    # disjoint ranges leave the replay bit-identical; in-process mode
+    # simply ends up with one (still unique) reassigned counter.
+    _messages._msg_counter = itertools.count(shard_id << 48)
+    ctx = SimContext(sim=Simulator(kernel=config.kernel), rng=make_rng(config.seed))
+    runtime = ShardRuntime(shard_id, ctx.sim)
+    cluster = EdmCluster(
+        config,
+        policy=policy,
+        dram_timing=dram_timing,
+        max_iterations=max_iterations,
+        early_release=early_release,
+        context=ctx,
+        plan=plan,
+        runtime=runtime,
+    )
+    sink: List[Tuple[int, float, object]] = []
+    write_index: Dict[Tuple[int, int], int] = {}
+
+    def on_unrouted(uid: int, message, now: float) -> None:
+        # A write finished at this memory node for an issuer in another
+        # shard: record it under the memory node's lane, exactly where the
+        # serial run's registered callback would have appended it.
+        sink.append((HOST_LANE_BASE + message.dst, now, ("w", message.src, uid)))
+
+    cluster.router.on_unrouted = on_unrouted
+
+    # The offered batch replays the serial injector (lane 0): the serial
+    # path's schedule_batch hands arrival-sorted message i the root seq i,
+    # so injecting each shard's slice with seq == global sorted index
+    # reproduces the identical event keys.
+    shard_of = plan.shard_of
+    ctx.sim.inject(
+        (
+            message.arrival_ns,
+            0,
+            index,
+            partial(_launch_offered, cluster, sink, write_index, message),
+        )
+        for index, message in enumerate(ordered)
+        if shard_of(("nic", message.src)) == shard_id
+    )
+
+    def collect() -> Dict[str, object]:
+        return {
+            "sink": sink,
+            "write_index": write_index,
+            "events": ctx.sim.events_processed,
+        }
+
+    runtime.collect = collect
+    return runtime
+
+
 class EdmFabric(Fabric):
     """The EDM fabric model for Figure 8 experiments."""
 
     name = "EDM"
+    supports_sharding = True
 
     def __init__(
         self,
@@ -131,7 +320,17 @@ class EdmFabric(Fabric):
         messages,
         *,
         deadline_ns: Optional[float] = None,
+        shard_backend: str = "auto",
     ) -> FabricResult:
+        if self.config.shards > 1:
+            if not isinstance(messages, (list, tuple)):
+                raise FabricError(
+                    "sharded runs need a materialized workload; streaming "
+                    "Workloads require shards=1"
+                )
+            return self._run_sharded(
+                messages, deadline_ns=deadline_ns, backend=shard_backend
+            )
         ctx = self.new_context()
         cluster = EdmCluster(
             self.config,
@@ -184,6 +383,62 @@ class EdmFabric(Fabric):
         ctx.stats.incr("messages_offered", offered)
         ctx.stats.incr("sim_events", ctx.sim.events_processed)
         result.stats = ctx.stats.to_dict()
+        return result
+
+    def _run_sharded(
+        self,
+        messages,
+        *,
+        deadline_ns: Optional[float],
+        backend: str = "auto",
+    ) -> FabricResult:
+        """Conservative-parallel run; bit-identical to the serial path."""
+        plan = edm_shard_plan(self.config)
+        ordered = tuple(sorted(messages, key=lambda m: m.arrival_ns))
+        builder = partial(
+            _build_edm_shard,
+            config=self.config,
+            policy=self.policy,
+            dram_timing=self._dram_timing(),
+            max_iterations=self.max_iterations,
+            early_release=self.early_release,
+            plan=plan,
+            ordered=ordered,
+        )
+        sharded = ShardedSimulator(plan, builder, backend=backend)
+        payloads = sharded.run(deadline_ns=deadline_ns)
+
+        by_uid = {message.uid: message for message in ordered}
+        write_index: Dict[Tuple[int, int], int] = {}
+        for payload in payloads:
+            write_index.update(payload["write_index"])
+        merged: List[Tuple[float, int, int, int]] = []
+        total_events = 0
+        for payload in payloads:
+            total_events += payload["events"]
+            for position, (lane, completed_at, tag) in enumerate(payload["sink"]):
+                uid = (
+                    write_index[(tag[1], tag[2])]
+                    if isinstance(tag, tuple)
+                    else tag
+                )
+                merged.append((completed_at, lane, position, uid))
+        # (completed_at, lane, position) replays the serial append order:
+        # all record-bearing events share priority 0, so serial execution
+        # order at one timestamp is lane order, and one lane's records all
+        # come from one shard, appended in that shard's execution order.
+        merged.sort()
+        result = FabricResult(fabric=self.name)
+        for completed_at, _lane, _position, uid in merged:
+            result.records.append(
+                CompletionRecord(message=by_uid[uid], completed_at=completed_at)
+            )
+        offered = len(ordered)
+        result.incomplete = offered - len(result.records)
+        stats = StatsSink()
+        stats.incr("messages_offered", offered)
+        stats.incr("sim_events", total_events)
+        result.stats = stats.to_dict()
         return result
 
     def run_with_baselines(

@@ -102,10 +102,22 @@ class Completion:
 
 
 class CompletionRouter:
-    """Routes completion callbacks across nodes (simulation plumbing)."""
+    """Routes completion callbacks across nodes (simulation plumbing).
+
+    In a sharded run each shard owns a private router, so a write's
+    completion (fired at the memory node) cannot find the callback the
+    issuing node registered in another shard.  ``on_unrouted`` is that
+    seam: the shard harness installs a handler that records the
+    completion for the coordinator's merge instead.  Serial runs leave it
+    unset and unrouted fires stay no-ops (e.g. a timeout race already
+    consumed the callback).
+    """
 
     def __init__(self) -> None:
         self._callbacks: Dict[int, Tuple[CompletionCallback, float]] = {}
+        self.on_unrouted: Optional[
+            Callable[[int, MemoryMessage, float], None]
+        ] = None
 
     def register(self, uid: int, callback: CompletionCallback, created_at: float) -> None:
         if uid in self._callbacks:
@@ -122,6 +134,8 @@ class CompletionRouter:
     ) -> None:
         entry = self._callbacks.pop(uid, None)
         if entry is None:
+            if self.on_unrouted is not None:
+                self.on_unrouted(uid, message, now)
             return  # already completed (e.g. race with a timeout)
         callback, created_at = entry
         callback(
@@ -282,14 +296,7 @@ class EdmHostNic(Process):
             self.node_id, dst, address, nbytes,
             message_id=message_id, created_at=now,
         )
-
-        def _on_done(completion: Completion) -> None:
-            # The write finished at the memory node: free this sender's
-            # notification slot toward dst before surfacing the completion.
-            self._release_limiter_slot(dst)
-            on_complete(completion)
-
-        self.router.register(message.uid, _on_done, now)
+        self.router.register(message.uid, on_complete, now)
         self.state_table.add(
             dst, message_id,
             MessageState(message=message, completion_callback=on_complete),
@@ -401,6 +408,12 @@ class EdmHostNic(Process):
             table.remove(grant.dst, grant.message_id)
             if message.mtype is MessageType.WREQ:
                 self.ids.release(grant.dst, grant.message_id)
+                # Writes are one-sided (§2.3): once the final chunk is on
+                # the wire the sender owes nothing more, so the
+                # notification slot toward this memory node frees here —
+                # not at remote delivery, which would couple two hosts
+                # through a zero-latency callback no real NIC could see.
+                self._release_limiter_slot(grant.dst)
 
     # -- forwarded requests (memory node) ------------------------------- #
 
@@ -509,7 +522,3 @@ class EdmHostNic(Process):
             self._send_notification(backlogged)
         else:
             self._send_request(backlogged)
-
-    def notify_write_completed(self, dst: int) -> None:
-        """Called by the cluster when one of our writes finished remotely."""
-        self._release_limiter_slot(dst)

@@ -105,8 +105,17 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, object]:
         link_gbps=spec.link_gbps,
         seed=spec.seed,
         kernel=spec.kernel,
+        shards=spec.shards,
     )
     fabric = fabric_info(spec.fabric).factory(config)
+    if spec.shards > 1 and not fabric.supports_sharding:
+        # Fail loudly: sharding is a wall-clock knob, but a user who asked
+        # for it should not get a silently-serial run on a fabric that
+        # cannot honour it.
+        raise ScenarioError(
+            f"fabric {spec.fabric!r} does not support --shards "
+            f"(supported: fabrics with supports_sharding, e.g. EDM)"
+        )
     # Relative fault times resolve against the offered arrival span, so a
     # "failover at 30%" lands mid-run at any scale.
     span_ns = max((m.arrival_ns for m in messages), default=0.0) or 1.0
@@ -155,6 +164,7 @@ def _scenario_cells(
     num_nodes: Optional[int] = None,
     message_count: Optional[int] = None,
     kernel: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> List[Cell]:
     selected = list(names) if names else scenario_names()
     duplicates = {n for n in selected if selected.count(n) > 1}
@@ -174,6 +184,8 @@ def _scenario_cells(
             overrides["message_count"] = message_count
         if kernel is not None:
             overrides["kernel"] = kernel
+        if shards is not None:
+            overrides["shards"] = shards
         cells.append(
             make_cell(
                 "scenarios",
@@ -194,6 +206,7 @@ def _scenario_cell(cell: Cell) -> Dict[str, object]:
             message_count=cell.param("message_count"),
             seed=cell.seed,
             kernel=cell.param("kernel"),
+            shards=cell.param("shards"),
         )
     )
 

@@ -15,6 +15,14 @@ same time base and report into the same place::
 ``Process`` subclasses accept either a raw ``Simulator`` (old call sites
 and unit tests) or a ``SimContext``; fabric models create one context per
 ``run()`` via :meth:`~repro.fabrics.base.Fabric.new_context`.
+
+For deterministic sharding, :meth:`SimContext.lane` derives a sibling
+context whose ``sim`` is a :class:`~repro.sim.engine.LaneView`: same
+clock, same queue, same RNG and stats sinks, but a private sequence-number
+stream ``(lane << LANE_SHIFT) | n``.  Components built on lane contexts
+produce event keys that do not depend on the global interleaving of
+scheduling calls, which is what lets per-shard kernels merge their event
+streams back into the exact serial order (see docs/DETERMINISM.md).
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.sim.engine import DEFAULT_KERNEL, Simulator
+from repro.sim.engine import DEFAULT_KERNEL, LaneView, Simulator
 from repro.sim.rng import SeedLike, make_rng
 
 
@@ -50,6 +58,18 @@ class StatsSink:
                 out[f"{name}_mean"] = float(np.mean(values))
         return out
 
+    def merge(self, other: "StatsSink") -> None:
+        """Fold another sink into this one (shard-result aggregation).
+
+        Counters add; series concatenate in call order.  Shard merges
+        that need a deterministic series order must sort upstream —
+        per-shard sinks arrive in shard-id order, which is stable.
+        """
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, values in other.series.items():
+            self.series.setdefault(name, []).extend(values)
+
 
 class SimContext:
     """The clock + RNG + stats bundle one simulated cluster shares."""
@@ -72,6 +92,18 @@ class SimContext:
     ) -> "SimContext":
         """Build a fresh context with its own simulator and seeded RNG."""
         return cls(sim=Simulator(kernel=kernel), rng=make_rng(seed))
+
+    def lane(self, lane: int) -> "SimContext":
+        """A sibling context scheduling through a private seq lane.
+
+        Shares this context's clock, queue, RNG, and stats sinks; only the
+        sequence-number stream differs.  Calling ``lane()`` on an already
+        lane-scoped context derives the new lane from the same root
+        simulator (lanes do not nest).
+        """
+        inner = self.sim
+        root = inner.root if isinstance(inner, LaneView) else inner
+        return SimContext(sim=root.lane(lane), rng=self.rng, stats=self.stats)
 
     @property
     def now(self) -> float:

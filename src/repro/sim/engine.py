@@ -18,11 +18,43 @@ Two kernels implement the pending-event set:
 Both kernels delete cancelled events lazily (a tombstone flag) and
 compact the queue once tombstones outnumber live events, so a workload
 that arms-and-cancels timers cannot grow the queue without bound.
+
+Scheduling surface (see docs/DETERMINISM.md for the full contract):
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — cancellable,
+  return an :class:`EventHandle`.
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` — fire-and-forget; the
+  hot paths use these because they skip the handle and (on the calendar
+  kernel) the event object entirely.
+* :meth:`Simulator.schedule_batch` — bulk insertion with sequence numbers
+  assigned in iteration order, bit-identical to a loop of ``schedule`` calls.
+* ``pop_if_before`` (kernel-internal) — the fused peek+pop the deadline run
+  loop uses; its window checks reuse push's ``int(time * inv_width)`` bucket
+  mapping via an absolute-bucket cursor (``_cur_abs``) because comparing
+  against ``k * width`` float products disagrees with the push mapping at
+  exact bucket boundaries and would strand the true minimum one bucket early.
+
+Sequence numbers and lanes
+--------------------------
+
+``seq`` defaults to a single process-wide-per-simulator counter, which makes
+tie order depend on global scheduling order — fine for one kernel instance,
+unreconstructible once a simulation is sharded.  :class:`LaneView` gives a
+component a private seq stream ``(lane << LANE_SHIFT) | n``: tie order among
+same-``(time, priority)`` events becomes ``(lane, n)``, a property of *which
+component* scheduled the event and *how many* events it had scheduled before
+— both computable inside a single shard.  A sharded run that replays every
+lane's local order therefore reproduces the serial total order exactly.
+:meth:`Simulator.inject` is the shard-mailbox entry point: it inserts events
+with explicit ``(time, priority, seq)`` keys, so cross-shard deliveries keep
+the key their sender's lane assigned.  :meth:`Simulator.run_window` runs
+strictly below a conservative horizon (see ``repro.sim.shard``).
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from bisect import insort
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush, nsmallest
@@ -44,6 +76,12 @@ MAX_EVENT_TIME = 1e300
 #: Queues smaller than this are never compacted (not worth the rebuild).
 _COMPACT_MIN = 64
 
+#: Lane-composite sequence numbers are ``(lane << LANE_SHIFT) | n``.  The
+#: low field bounds events-per-lane at 2**44 (a multi-day run at current
+#: event rates); the high field bounds lanes at Python-int-is-unbounded,
+#: but keeping the shift fixed keeps serial and sharded keys comparable.
+LANE_SHIFT = 44
+
 #: Process-wide count of events executed across every Simulator instance.
 #: The experiment runner reads deltas around each cell to report
 #: events/sec without threading a handle through the fabric models.
@@ -53,6 +91,17 @@ _EVENTS_EXECUTED = 0
 def process_events_executed() -> int:
     """Total events executed by all simulators in this process so far."""
     return _EVENTS_EXECUTED
+
+
+def add_external_events(count: int) -> None:
+    """Credit events executed outside this process (sharded workers).
+
+    The multiprocessing shard backend runs its kernels in child
+    processes; their counts are folded back here so the experiment
+    runner's events/sec deltas stay meaningful.
+    """
+    global _EVENTS_EXECUTED
+    _EVENTS_EXECUTED += count
 
 
 class _Event:
@@ -759,6 +808,50 @@ class Simulator:
             _EVENTS_EXECUTED += processed
         return self._now
 
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when drained.
+
+        The conservative shard loop uses this to compute the global
+        minimum next-event time each synchronization round.
+        """
+        return self._queue.peek_time()
+
+    def run_window(self, horizon: float) -> float:
+        """Run every pending event strictly before ``horizon``.
+
+        The conservative-parallel building block: a shard granted horizon
+        ``H`` may execute all events with ``time < H`` without risk of a
+        cross-shard straggler, because any remote event published in the
+        same window arrives at ``time >= H`` (sender time plus at least
+        one link propagation delay).  ``run(until)`` is inclusive, so the
+        strict bound is the largest float below ``horizon``.
+        """
+        return self.run(until=math.nextafter(horizon, -math.inf))
+
+    def inject(self, entries: Iterable[Tuple[float, int, int, EventCallback]]) -> int:
+        """Insert events with explicit ``(time, priority, seq, callback)`` keys.
+
+        The shard-mailbox entry point: cross-shard deliveries are executed
+        here with the exact key their sender's lane assigned, so the merged
+        event order is bit-identical to the serial run.  Times must not be
+        in this simulator's past.  Returns the number of events injected.
+        """
+        now = self._now
+        batch: List[_Entry] = []
+        for time, priority, seq, callback in entries:
+            if not now <= time < MAX_EVENT_TIME:
+                raise SimulationError(
+                    f"cannot inject at t={time}: now={now} (must be finite, not past)"
+                )
+            batch.append((time, priority, seq, callback))
+        if batch:
+            self._queue.push_raw_batch(batch)
+        return len(batch)
+
+    def lane(self, lane: int) -> "LaneView":
+        """A :class:`LaneView` over this simulator's clock and queue."""
+        return LaneView(self, lane)
+
     def step(self) -> bool:
         """Process a single event.  Returns False when the queue is empty."""
         global _EVENTS_EXECUTED
@@ -778,6 +871,106 @@ class Simulator:
         self._events_processed = 0
 
 
+class LaneView:
+    """A lane-scoped scheduling handle: shared clock and queue, private seqs.
+
+    Components holding a LaneView schedule into the same pending-event set
+    as everyone else, but their events carry sequence numbers
+    ``(lane << LANE_SHIFT) | n`` drawn from a per-lane counter.  Tie order
+    among same-``(time, priority)`` events then depends only on which lane
+    scheduled them and each lane's local ordinal — not on the global
+    interleaving of scheduling calls — which is what lets a sharded run
+    (where the interleaving differs) replay the serial order bit-exactly.
+
+    Lane 0 is the root :class:`Simulator`'s own counter; component lanes
+    must be positive.  The view exposes the scheduling surface
+    (``post``/``post_at``/``schedule``/``schedule_at``/``schedule_batch``)
+    plus the read-only clock, so model code cannot tell it apart from the
+    simulator it wraps.
+    """
+
+    __slots__ = ("root", "lane", "kernel", "_seq", "_push_raw")
+
+    def __init__(self, sim: Simulator, lane: int) -> None:
+        if lane <= 0:
+            raise SimulationError(f"component lanes must be positive, got {lane}")
+        self.root = sim
+        self.lane = lane
+        self.kernel = sim.kernel
+        self._seq = itertools.count(lane << LANE_SHIFT)
+        self._push_raw = sim._queue.push_raw
+
+    @property
+    def now(self) -> float:
+        return self.root._now
+
+    @property
+    def _now(self) -> float:
+        return self.root._now
+
+    @property
+    def events_processed(self) -> int:
+        return self.root._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self.root._queue)
+
+    def schedule(
+        self, delay: float, callback: EventCallback, *, priority: int = 0
+    ) -> EventHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self.root._now + delay, callback, priority=priority)
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, *, priority: int = 0
+    ) -> EventHandle:
+        root = self.root
+        root._check_time(time)
+        event = _Event(time, priority, next(self._seq), callback)
+        root._queue.push(event)
+        return EventHandle(event, root._queue)
+
+    def post(self, delay: float, callback: EventCallback, *, priority: int = 0) -> None:
+        root = self.root
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        time = root._now + delay
+        if not time < MAX_EVENT_TIME:
+            raise SimulationError(f"event time must be finite, got {time}")
+        self._push_raw(time, priority, next(self._seq), callback)
+
+    def post_at(self, time: float, callback: EventCallback, *, priority: int = 0) -> None:
+        root = self.root
+        if not root._now <= time < MAX_EVENT_TIME:
+            root._check_time(time)
+        self._push_raw(time, priority, next(self._seq), callback)
+
+    def schedule_batch(
+        self,
+        items: Iterable[Tuple[float, EventCallback]],
+        *,
+        absolute: bool = False,
+        priority: int = 0,
+    ) -> int:
+        root = self.root
+        now = root._now
+        seq = self._seq
+        entries: List[Tuple[float, int, int, EventCallback]] = []
+        for time, callback in items:
+            if not absolute:
+                time = now + time
+            root._check_time(time)
+            entries.append((time, priority, next(seq), callback))
+        if entries:
+            root._queue.push_raw_batch(entries)
+        return len(entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LaneView lane={self.lane} of {self.root!r}>"
+
+
 class Process:
     """Base class for simulation entities that own a reference to the engine.
 
@@ -791,7 +984,7 @@ class Process:
         # Duck-typed so repro.sim.context need not be imported here
         # (context imports the engine, not the other way around).
         inner = getattr(sim, "sim", None)
-        if isinstance(inner, Simulator):
+        if isinstance(inner, (Simulator, LaneView)):
             self.ctx = sim
             self.sim = inner
         else:

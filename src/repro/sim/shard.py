@@ -1,0 +1,375 @@
+"""Conservative-parallel sharding: split one simulation across kernels.
+
+A sharded run partitions a cluster's components into N shards, each owning
+a private :class:`~repro.sim.engine.Simulator` (calendar kernel by
+default).  Shards advance in lockstep windows using classic conservative
+lookahead (Chandy-Misra / bounded-lag): every synchronization round the
+coordinator computes the global minimum next-event time ``m`` and grants
+every shard the horizon ``H = m + L``, where ``L`` is the minimum
+propagation delay across all cut links (:attr:`Link.lookahead_ns`).  Each
+shard then executes all events strictly before ``H``.  This is safe
+because any cross-shard payload published inside the window departs at
+``t >= m`` and arrives at ``t + L >= m + L = H`` — never inside the
+window that produced it.
+
+Cross-shard traffic flows through mailboxes: a
+:class:`~repro.sim.link.ShardLink` appends ``(time, priority, seq,
+route_key, payload)`` to its shard's outbox; at the window barrier the
+coordinator routes each entry to the shard owning ``route_key``, which
+executes it via ``Simulator.inject`` — with the exact event key the
+sender's lane assigned.  Because component tie order is lane-local (see
+``repro.sim.engine.LaneView``), the merged execution order is
+bit-identical to the serial run: sharding changes wall-clock behaviour,
+never simulated behaviour.  ``tests/test_shard_equivalence.py`` asserts
+this the same way calendar==heap is asserted.
+
+Two backends share the window loop:
+
+* ``"inprocess"`` — every shard kernel lives in this process and windows
+  run round-robin.  No parallel speedup (it exists for determinism tests
+  and as a fallback), but bit-identical to the process backend by
+  construction.
+* ``"processes"`` — one forked worker per shard, a duplex pipe each, one
+  fused ``(window, inbox) -> (outbox, next)`` round trip per window.
+  Requires the ``fork`` start method and a non-daemonic parent (the
+  experiment runner's pool workers are daemonic, so sharded cells running
+  under ``--jobs`` transparently fall back to ``"inprocess"``).
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import multiprocessing
+from dataclasses import dataclass
+from functools import partial
+from typing import (
+    Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple,
+)
+
+from repro.errors import SimulationError
+from repro.sim.engine import MAX_EVENT_TIME, Simulator, add_external_events
+
+#: A routed mailbox entry: (time, priority, seq, route_key, payload).
+MailboxEntry = Tuple[float, int, int, Hashable, Any]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An immutable cut: component route-key -> shard, plus the lookahead."""
+
+    num_shards: int
+    lookahead_ns: float
+    assignment: Mapping[Hashable, int]
+
+    def shard_of(self, key: Hashable) -> int:
+        return self.assignment[key]
+
+    def members(self, shard_id: int) -> List[Hashable]:
+        return [k for k, s in self.assignment.items() if s == shard_id]
+
+
+class ShardPlanner:
+    """Cuts a topology graph into N shards.
+
+    Nodes are component route keys with optional weights (relative event
+    rates) and optional pins; edges carry the link lookahead between two
+    components.  :meth:`plan` packs unpinned nodes contiguously (sorted by
+    key) into the unpinned shards, balancing by weight, and derives the
+    window lookahead as the minimum over cut edges.  Deterministic: the
+    same graph always yields the same plan.
+    """
+
+    def __init__(self) -> None:
+        self._weights: Dict[Hashable, float] = {}
+        self._pins: Dict[Hashable, int] = {}
+        self._edges: List[Tuple[Hashable, Hashable, float]] = []
+
+    def add_node(
+        self, key: Hashable, weight: float = 1.0, pin: Optional[int] = None
+    ) -> None:
+        if key in self._weights:
+            raise SimulationError(f"duplicate shard-plan node {key!r}")
+        self._weights[key] = weight
+        if pin is not None:
+            self._pins[key] = pin
+
+    def add_edge(self, a: Hashable, b: Hashable, lookahead_ns: float) -> None:
+        if lookahead_ns <= 0:
+            raise SimulationError(
+                f"cut edges need positive lookahead, got {lookahead_ns}"
+            )
+        self._edges.append((a, b, lookahead_ns))
+
+    def plan(self, num_shards: int) -> ShardPlan:
+        if num_shards < 1:
+            raise SimulationError(f"need >= 1 shard, got {num_shards}")
+        unknown = [
+            k for a, b, _ in self._edges for k in (a, b) if k not in self._weights
+        ]
+        if unknown:
+            raise SimulationError(f"edges reference unknown nodes: {unknown!r}")
+        assignment: Dict[Hashable, int] = {}
+        for key, pin in self._pins.items():
+            if not 0 <= pin < num_shards:
+                raise SimulationError(f"pin {pin} out of range for {key!r}")
+            assignment[key] = pin
+        free = sorted(k for k in self._weights if k not in self._pins)
+        open_shards = [
+            s for s in range(num_shards) if s not in set(self._pins.values())
+        ] or list(range(num_shards))
+        if free and len(open_shards) > len(free):
+            raise SimulationError(
+                f"{num_shards} shards for {len(self._weights)} components "
+                "would leave shards empty"
+            )
+        # Contiguous fill by cumulative weight: keeps neighbouring keys
+        # co-resident (locality) and is trivially deterministic.
+        total = sum(self._weights[k] for k in free)
+        filled = 0.0
+        cursor = 0
+        for index, key in enumerate(free):
+            share = total * (cursor + 1) / len(open_shards)
+            remaining_nodes = len(free) - index
+            remaining_shards = len(open_shards) - cursor
+            if filled >= share and remaining_shards > 1:
+                cursor += 1
+            elif remaining_nodes == remaining_shards - 1 and remaining_shards > 1:
+                # Never strand a trailing shard without a component.
+                cursor += 1
+            assignment[key] = open_shards[cursor]
+            filled += self._weights[key]
+        lookahead = math.inf
+        for a, b, ns in self._edges:
+            if assignment[a] != assignment[b] and ns < lookahead:
+                lookahead = ns
+        return ShardPlan(
+            num_shards=num_shards,
+            lookahead_ns=lookahead,
+            assignment=assignment,
+        )
+
+
+class ShardRuntime:
+    """One shard at run time: a simulator, routable receivers, an outbox.
+
+    The builder registers a receiver callback per locally-owned route key
+    and hands the shared ``outbox`` list to its :class:`ShardLink`s.
+    ``collect`` is the builder-supplied result snapshot, called once after
+    the last window.
+    """
+
+    __slots__ = ("shard_id", "sim", "outbox", "receivers", "collect")
+
+    def __init__(self, shard_id: int, sim: Simulator) -> None:
+        self.shard_id = shard_id
+        self.sim = sim
+        self.outbox: List[MailboxEntry] = []
+        self.receivers: Dict[Hashable, Callable[[Any], None]] = {}
+        self.collect: Optional[Callable[[], Any]] = None
+
+    def register(self, key: Hashable, receiver: Callable[[Any], None]) -> None:
+        if key in self.receivers:
+            raise SimulationError(f"duplicate receiver for route key {key!r}")
+        self.receivers[key] = receiver
+
+    def run_window(
+        self, horizon: float, inbox: Sequence[MailboxEntry]
+    ) -> Tuple[List[MailboxEntry], Optional[float]]:
+        """Deliver ``inbox``, run strictly below ``horizon``, drain outbox."""
+        if inbox:
+            receivers = self.receivers
+            self.sim.inject(
+                (time, priority, seq, partial(receivers[key], payload))
+                for time, priority, seq, key, payload in inbox
+            )
+        self.sim.run_window(horizon)
+        out = self.outbox[:]
+        del self.outbox[:]
+        return out, self.sim.next_event_time()
+
+
+#: Builder signature: shard_id -> a fully-wired ShardRuntime (collect set).
+ShardBuilder = Callable[[int], ShardRuntime]
+
+
+class _LocalShard:
+    """In-process backend handle: windows run inline, round-robin."""
+
+    def __init__(self, builder: ShardBuilder, shard_id: int) -> None:
+        self.runtime = builder(shard_id)
+        self.ready_next = self.runtime.sim.next_event_time()
+        self._window: Optional[Tuple[List[MailboxEntry], Optional[float]]] = None
+
+    def start_window(self, horizon: float, inbox: List[MailboxEntry]) -> None:
+        self._window = self.runtime.run_window(horizon, inbox)
+
+    def finish_window(self) -> Tuple[List[MailboxEntry], Optional[float]]:
+        out, self._window = self._window, None
+        return out
+
+    def finish(self) -> Any:
+        return self.runtime.collect() if self.runtime.collect else None
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, builder: ShardBuilder, shard_id: int) -> None:
+    """Forked worker: one shard, one fused round trip per window."""
+    try:
+        runtime = builder(shard_id)
+        conn.send(("ready", runtime.sim.next_event_time()))
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "window":
+                conn.send(runtime.run_window(message[1], message[2]))
+            elif op == "finish":
+                result = runtime.collect() if runtime.collect else None
+                conn.send((result, runtime.sim.events_processed))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise SimulationError(f"unknown shard op {op!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+class _ProcessShard:
+    """Fork-backend handle: the shard lives in a child process."""
+
+    def __init__(self, mp_context, builder: ShardBuilder, shard_id: int) -> None:
+        self.conn, child = mp_context.Pipe(duplex=True)
+        self.process = mp_context.Process(
+            target=_shard_worker,
+            args=(child, builder, shard_id),
+            name=f"shard-{shard_id}",
+        )
+        self.process.start()
+        child.close()
+        tag, self.ready_next = self.conn.recv()
+        if tag != "ready":  # pragma: no cover - protocol guard
+            raise SimulationError(f"shard {shard_id} failed to start: {tag!r}")
+
+    def start_window(self, horizon: float, inbox: List[MailboxEntry]) -> None:
+        self.conn.send(("window", horizon, inbox))
+
+    def finish_window(self) -> Tuple[List[MailboxEntry], Optional[float]]:
+        return self.conn.recv()
+
+    def finish(self) -> Any:
+        self.conn.send(("finish",))
+        result, events = self.conn.recv()
+        add_external_events(events)
+        return result
+
+    def close(self) -> None:
+        self.conn.close()
+        self.process.join(timeout=30)
+        if self.process.is_alive():  # pragma: no cover - hang guard
+            self.process.terminate()
+            self.process.join()
+
+
+def processes_backend_available() -> bool:
+    """True when forked shard workers can be used from this process."""
+    if multiprocessing.current_process().daemon:
+        # Daemonic processes (the experiment runner's pool workers)
+        # cannot have children.
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ShardedSimulator:
+    """Facade running one simulation across conservative shard kernels.
+
+    Construction takes the :class:`ShardPlan` and a builder returning a
+    wired :class:`ShardRuntime` for each shard id; :meth:`run` drives the
+    bounded-lag window loop to completion (or ``deadline_ns``) and returns
+    the per-shard ``collect()`` payloads in shard-id order.
+
+    Both backends replay the identical event order; ``backend="auto"``
+    prefers forked workers when the platform allows them.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        builder: ShardBuilder,
+        *,
+        backend: str = "auto",
+    ) -> None:
+        if backend not in ("auto", "inprocess", "processes"):
+            raise SimulationError(f"unknown shard backend {backend!r}")
+        if backend == "auto":
+            backend = (
+                "processes" if processes_backend_available() else "inprocess"
+            )
+        if backend == "processes" and not processes_backend_available():
+            raise SimulationError(
+                "process backend unavailable (no fork, or daemonic parent)"
+            )
+        self.plan = plan
+        self.builder = builder
+        self.backend = backend
+        self.windows_run = 0
+
+    def run(self, deadline_ns: Optional[float] = None) -> List[Any]:
+        plan = self.plan
+        lookahead = plan.lookahead_ns
+        shard_of = plan.shard_of
+        handles: List[Any] = []
+        try:
+            if self.backend == "processes":
+                # Forked children inherit the parent heap copy-on-write;
+                # dropping collectable garbage first shrinks the pages
+                # their refcount traffic will fault in.
+                gc.collect()
+                mp_context = multiprocessing.get_context("fork")
+                for shard_id in range(plan.num_shards):
+                    handles.append(
+                        _ProcessShard(mp_context, self.builder, shard_id)
+                    )
+            else:
+                for shard_id in range(plan.num_shards):
+                    handles.append(_LocalShard(self.builder, shard_id))
+            pending: List[List[MailboxEntry]] = [[] for _ in handles]
+            nexts: List[Optional[float]] = [h.ready_next for h in handles]
+            while True:
+                floor: Optional[float] = None
+                for t in nexts:
+                    if t is not None and (floor is None or t < floor):
+                        floor = t
+                for box in pending:
+                    for entry in box:
+                        if floor is None or entry[0] < floor:
+                            floor = entry[0]
+                if floor is None:
+                    break
+                if deadline_ns is not None and floor > deadline_ns:
+                    break
+                horizon = floor + lookahead
+                if deadline_ns is not None and horizon > deadline_ns:
+                    # run(until=deadline) is inclusive in the serial
+                    # oracle, so the strict window must reach past it.
+                    horizon = math.nextafter(deadline_ns, math.inf)
+                if horizon <= floor:
+                    # Degenerate float case (lookahead below one ulp of
+                    # the clock): still make progress on the minimum.
+                    horizon = math.nextafter(floor, math.inf)
+                if horizon > MAX_EVENT_TIME:
+                    horizon = MAX_EVENT_TIME
+                for shard_id, handle in enumerate(handles):
+                    handle.start_window(horizon, pending[shard_id])
+                    pending[shard_id] = []
+                for shard_id, handle in enumerate(handles):
+                    outbox, nexts[shard_id] = handle.finish_window()
+                    for entry in outbox:
+                        pending[shard_of(entry[3])].append(entry)
+                self.windows_run += 1
+            return [handle.finish() for handle in handles]
+        finally:
+            for handle in handles:
+                handle.close()

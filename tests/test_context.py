@@ -40,10 +40,15 @@ class TestSimContext:
     def test_cluster_components_share_one_clock(self):
         config = ClusterConfig(num_nodes=4, seed=0)
         cluster = EdmCluster(config)
-        assert cluster.switch.sim is cluster.sim
+        # Components schedule through per-lane views (disjoint seq
+        # streams), but every view shares the root simulator's clock and
+        # pending set.
+        assert cluster.switch.sim.root is cluster.sim
         for nic in cluster.nics.values():
-            assert nic.sim is cluster.sim
-            assert nic.ctx is cluster.ctx
+            assert nic.sim.root is cluster.sim
+            assert nic.ctx.stats is cluster.ctx.stats
+        cluster.sim.run(until=0.0)
+        assert cluster.switch.sim.now == cluster.sim.now
 
     def test_fabric_run_attaches_stats(self):
         config = ClusterConfig(num_nodes=4, seed=0)
