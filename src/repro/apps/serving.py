@@ -386,10 +386,10 @@ class ServingCluster:
             )
         )
         if spec.faults:
-            # The EDM cluster quacks like the queueing SubstrateTopology
-            # (sim, ctx, uplinks, downlinks), so link faults install
-            # through the very injector the scenario engine uses.
-            self.injector.install(self.cluster)
+            # Link faults install through the cluster's real
+            # SubstrateTopology surface (docs/TOPOLOGY.md) — the same
+            # injector and surface the scenario engine uses.
+            self.injector.install(self.cluster.substrate_topology())
 
         self._memory_ids = list(range(spec.compute_nodes, spec.num_nodes))
         self._stores: Dict[Tuple[int, int], RemoteKvStore] = {}

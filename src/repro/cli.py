@@ -162,6 +162,7 @@ def _figure8a_options(args: argparse.Namespace) -> Dict[str, Any]:
         fabric_names=_parse_fabrics(args.fabrics),
         kernel=args.kernel,
         shards=args.shards,
+        topology=args.topology,
     )
     return {"loads": _parse_loads(args.loads), "scale": scale}
 
@@ -174,6 +175,7 @@ def _figure8b_options(args: argparse.Namespace) -> Dict[str, Any]:
         fabric_names=_parse_fabrics(args.fabrics),
         kernel=args.kernel,
         shards=args.shards,
+        topology=args.topology,
     )
     return {"apps": args.apps.split(",") if args.apps else None, "scale": scale}
 
@@ -202,6 +204,7 @@ _RUN_FLAG_DEFAULTS = {
     "ops_per_client": 0,
     "kernel": DEFAULT_KERNEL,
     "shards": 1,
+    "topology": "single",
 }
 
 
@@ -293,13 +296,15 @@ def _cmd_run(args: argparse.Namespace) -> None:
     elif name == "serving":
         _warn_ignored_flags(
             name, args,
-            ("loads", "apps", "fabrics", "families", "messages", "shards"),
+            ("loads", "apps", "fabrics", "families", "messages", "shards",
+             "topology"),
         )
         options = _serving_options(args)
     elif name == "ablations":
         _warn_ignored_flags(
             name, args,
-            ("loads", "apps", "fabrics", "profiles", "ops_per_client", "shards"),
+            ("loads", "apps", "fabrics", "profiles", "ops_per_client", "shards",
+             "topology"),
         )
         options = {
             "num_nodes": args.nodes or 16,
@@ -317,6 +322,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             (
                 "nodes", "messages", "seed", "loads", "apps", "fabrics",
                 "families", "profiles", "ops_per_client", "kernel", "shards",
+                "topology",
             ),
         )
         options = {}
@@ -372,6 +378,8 @@ def _scenario_options(args: argparse.Namespace) -> Dict[str, Any]:
         options["kernel"] = args.kernel
     if getattr(args, "shards", 1) != 1:
         options["shards"] = args.shards
+    if getattr(args, "topology", "single") != "single":
+        options["topology"] = args.topology
     return options
 
 
@@ -482,6 +490,12 @@ def _add_scale_args(
         help="conservative-parallel shards per simulation (default 1 = "
         "serial; sharded replay is bit-identical to serial)",
     )
+    parser.add_argument(
+        "--topology", type=str, default="single",
+        help="substrate topology: 'single' or "
+        "'leaf-spine:leaves=L,spines=S[,oversub=R]' (docs/TOPOLOGY.md); "
+        "only fabrics tagged 'multitier' accept a multi-tier value",
+    )
 
 
 #: Shared epilog for subcommands that accept both parallelism knobs.  The
@@ -490,8 +504,10 @@ def _add_scale_args(
 _SCALING_EPILOG = (
     "scaling up: --jobs N runs independent grid cells in worker processes "
     "(embarrassingly parallel); --shards N splits one simulation into "
-    "conservative-parallel shards (fabrics that support it, e.g. EDM). "
-    "Both knobs are bit-identical to their serial equivalents — see "
+    "conservative-parallel shards (fabrics that support it, e.g. EDM); "
+    "--topology leaf-spine:leaves=L,spines=S swaps the single switch for "
+    "a routed Clos substrate (docs/TOPOLOGY.md). "
+    "All knobs are bit-identical to their serial equivalents — see "
     "docs/ARCHITECTURE.md and docs/DETERMINISM.md."
 )
 
@@ -591,6 +607,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1,
         help="conservative-parallel shards per simulation (EDM scenarios "
         "only; errors on fabrics without sharding support)",
+    )
+    scenario_run.add_argument(
+        "--topology", type=str, default="single",
+        help="override every scenario's topology: 'single' or "
+        "'leaf-spine:leaves=L,spines=S[,oversub=R]' (docs/TOPOLOGY.md)",
     )
     _add_runner_args(scenario_run)
     scenario_run.set_defaults(fn=_cmd_scenario)

@@ -57,3 +57,7 @@ class ConfigError(ReproError):
 
 class ScenarioError(ReproError):
     """Raised by the scenario engine on invalid specs or fault schedules."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topology specifications or wiring requests."""

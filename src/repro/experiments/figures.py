@@ -211,6 +211,10 @@ class Figure8aScale:
     #: produce bit-identical artifacts either way, so this is purely a
     #: wall-clock knob (docs/DETERMINISM.md).
     shards: int = 1
+    #: Substrate topology spec string (docs/TOPOLOGY.md): ``"single"`` or
+    #: ``"leaf-spine:leaves=L,spines=S[,oversub=R]"``.  Only fabrics
+    #: tagged ``multitier`` accept a multi-tier value.
+    topology: str = "single"
 
 
 def _selected_fabric_names(names: Optional[Sequence[str]]) -> List[str]:
@@ -237,6 +241,7 @@ def _scale_params(scale) -> Dict[str, object]:
         "deadline_ns": scale.deadline_ns,
         "kernel": getattr(scale, "kernel", DEFAULT_KERNEL),
         "shards": getattr(scale, "shards", 1),
+        "topology": getattr(scale, "topology", "single"),
     }
 
 
@@ -247,6 +252,7 @@ def _cluster_config(cell: Cell) -> ClusterConfig:
         seed=cell.seed,
         kernel=cell.param("kernel", DEFAULT_KERNEL),
         shards=cell.param("shards", 1),
+        topology=cell.param("topology", "single"),
     )
 
 
@@ -437,6 +443,8 @@ class Figure8bScale:
     kernel: str = DEFAULT_KERNEL
     #: Conservative-parallel shards per simulation (see Figure8aScale).
     shards: int = 1
+    #: Substrate topology spec string (see Figure8aScale).
+    topology: str = "single"
 
 
 def _figure8b_cells(

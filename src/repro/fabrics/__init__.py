@@ -7,7 +7,13 @@ of hard-coding names.  Tags in use:
 
 * ``queueing`` — rides the shared MAC-layer queueing substrate.
 * ``faultable`` — exposes the substrate's ``topology_hook``, so the
-  scenario engine can inject link/switch faults mid-run.
+  scenario engine can inject link/switch faults mid-run (including
+  planned failover).
+* ``linkfault`` — exposes link up/down/degrade faults through its own
+  :class:`~repro.topology.SubstrateTopology` surface, without the full
+  queueing fault machinery (no failover).
+* ``multitier`` — accepts a leaf-spine ``ClusterConfig.topology``
+  (docs/TOPOLOGY.md) instead of only the single-switch star.
 * ``lossless`` — never drops (PFC pauses, CXL credits).
 * ``lossy`` — finite buffers; drops recover via RTO.
 * ``ecn`` — marks at a shallow egress threshold.
@@ -58,7 +64,7 @@ FABRIC_REGISTRY = {
         FabricInfo(
             name="EDM",
             factory=EdmFabric,
-            tags=frozenset({"scheduled", "srpt"}),
+            tags=frozenset({"scheduled", "srpt", "linkfault", "multitier"}),
             description="EDM: in-network priority-PIM scheduling (the paper)",
         ),
         FabricInfo(
@@ -70,25 +76,33 @@ FABRIC_REGISTRY = {
         FabricInfo(
             name="pFabric",
             factory=PfabricFabric,
-            tags=frozenset({"queueing", "faultable", "lossy", "srpt", "ecn"}),
+            tags=frozenset(
+                {"queueing", "faultable", "lossy", "srpt", "ecn", "multitier"}
+            ),
             description="in-network SRPT over small lossy buffers",
         ),
         FabricInfo(
             name="PFC",
             factory=PfcFabric,
-            tags=frozenset({"queueing", "faultable", "lossless", "ecn"}),
+            tags=frozenset(
+                {"queueing", "faultable", "lossless", "ecn", "multitier"}
+            ),
             description="lossless pause-frame flow control with DCQCN",
         ),
         FabricInfo(
             name="DCTCP",
             factory=DctcpFabric,
-            tags=frozenset({"queueing", "faultable", "lossy", "ecn"}),
+            tags=frozenset(
+                {"queueing", "faultable", "lossy", "ecn", "multitier"}
+            ),
             description="ECN-driven sender rate control, finite buffers",
         ),
         FabricInfo(
             name="CXL",
             factory=CxlFabric,
-            tags=frozenset({"queueing", "faultable", "lossless", "credit"}),
+            tags=frozenset(
+                {"queueing", "faultable", "lossless", "credit", "multitier"}
+            ),
             description="PCIe-style link credits, no congestion control",
         ),
         FabricInfo(

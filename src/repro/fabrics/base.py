@@ -22,6 +22,7 @@ from repro.errors import FabricError
 from repro.sim.context import SimContext, StatsSink
 from repro.sim.engine import DEFAULT_KERNEL, KERNELS, Simulator
 from repro.sim.rng import make_rng
+from repro.topology.spec import SINGLE, TopologySpec, parse_topology
 
 # Fallback uid stream for ad-hoc OfferedMessage construction (tests,
 # probes).  Workload generators assign explicit 0-based uids instead, so
@@ -178,8 +179,20 @@ class ClusterConfig:
     #: fabrics with ``supports_sharding`` honour values above 1; the
     #: sharded replay is bit-identical to serial (docs/DETERMINISM.md).
     shards: int = 1
+    #: Shape of the switching substrate (docs/TOPOLOGY.md).  Accepts a
+    #: :class:`~repro.topology.spec.TopologySpec` or its string form
+    #: (``"single"``, ``"leaf-spine:leaves=4,spines=2"``); only fabrics
+    #: with ``supports_topology`` accept multi-tier shapes.
+    topology: TopologySpec = SINGLE
 
     def __post_init__(self) -> None:
+        if isinstance(self.topology, str):
+            object.__setattr__(self, "topology", parse_topology(self.topology))
+        if not isinstance(self.topology, TopologySpec):
+            raise FabricError(
+                f"topology must be a TopologySpec or string, "
+                f"got {type(self.topology).__name__}"
+            )
         if self.num_nodes < 2:
             raise FabricError(f"cluster needs >= 2 nodes: {self.num_nodes}")
         if self.link_gbps <= 0:
@@ -205,6 +218,18 @@ class ClusterConfig:
                 raise FabricError(
                     "sharded runs need positive propagation_ns for lookahead"
                 )
+            if (
+                not self.topology.is_single
+                and self.shards - 1 > self.topology.leaves
+            ):
+                # Multi-tier shard units are whole leaf subtrees (shard 0
+                # holds the core switch), so each non-core shard needs at
+                # least one leaf.
+                raise FabricError(
+                    f"{self.shards} shards need >= {self.shards - 1} leaves, "
+                    f"have {self.topology.leaves}"
+                )
+        self.topology.validate_cluster(self.num_nodes)
 
 
 class Fabric(abc.ABC):
@@ -218,7 +243,18 @@ class Fabric(abc.ABC):
     #: silently running serial.
     supports_sharding: bool = False
 
+    #: Whether this model can wire a multi-tier ``ClusterConfig.topology``
+    #: (docs/TOPOLOGY.md).  Fabrics that only understand the implicit
+    #: single switch reject leaf-spine configs at construction.
+    supports_topology: bool = False
+
     def __init__(self, config: ClusterConfig) -> None:
+        if not config.topology.is_single and not self.supports_topology:
+            raise FabricError(
+                f"{type(self).__name__} only models the single-switch "
+                f"topology; multi-tier shapes need a fabric tagged "
+                f"'multitier' (got {config.topology.describe()!r})"
+            )
         self.config = config
         # Per-fabric stream derived from the cluster seed: every runner
         # cell builds its own config, so cells stay independently

@@ -16,13 +16,25 @@ That is what makes conservative sharding exact: with
 packed contiguously across the rest), cross-shard links become
 :class:`~repro.sim.link.ShardLink` mailboxes, and the merged run replays
 the serial event order bit-identically (``tests/test_shard_equivalence.py``).
+
+With a leaf-spine ``ClusterConfig.topology`` (docs/TOPOLOGY.md), hosts
+reach the scheduled core through per-leaf trunk links instead of
+dedicated ports: all of a leaf's uplink traffic serializes over one
+leaf→core trunk at the oversubscribed rate, and the core's traffic
+toward that leaf shares one core→leaf trunk demuxed to per-host access
+links.  EDM's scheduler is a single crossbar by construction (§3), so
+multi-tier EDM requires ``spines == 1`` — one scheduled core; the leaf
+tier models access aggregation and oversubscription, not multipath.
+Leaves get their own sequence lanes (``2 + N + leaf``) and shard
+subtree-atomically with their hosts, making the cut lookahead the core
+propagation delay.
 """
 
 from __future__ import annotations
 
 import itertools
 from functools import partial
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core import messages as _messages
 from repro.core.scheduler import Policy, SchedulerConfig
@@ -48,6 +60,7 @@ from repro.sim.shard import (
     ShardRuntime,
     ShardedSimulator,
 )
+from repro.topology import SubstrateTopology
 
 #: Route key of the single switch in the star topology's shard plan.
 SWITCH_KEY = ("switch",)
@@ -58,12 +71,29 @@ HOST_LANE_BASE = 2
 
 
 def edm_shard_plan(config: ClusterConfig) -> ShardPlan:
-    """The canonical EDM cut: switch alone in shard 0, hosts elsewhere."""
+    """The canonical EDM cut: switch alone in shard 0, hosts elsewhere.
+
+    On a leaf-spine topology each leaf and its member hosts form one
+    subtree placement unit — host↔leaf access links are never cut, so
+    the only cross-shard links are the leaf↔core trunks and the window
+    lookahead is the core propagation delay.
+    """
     planner = ShardPlanner()
     planner.add_node(SWITCH_KEY, weight=config.num_nodes / 2.0, pin=0)
+    topo = config.topology
+    if topo.is_single:
+        for node in range(config.num_nodes):
+            planner.add_node(("nic", node))
+            planner.add_edge(SWITCH_KEY, ("nic", node), config.propagation_ns)
+        return planner.plan(config.shards)
+    core_prop = topo.core_prop(config.propagation_ns)
+    for leaf in range(topo.leaves):
+        planner.add_node(("leaf", leaf), weight=0.5, subtree=("leaf", leaf))
+        planner.add_edge(SWITCH_KEY, ("leaf", leaf), core_prop)
     for node in range(config.num_nodes):
-        planner.add_node(("nic", node))
-        planner.add_edge(SWITCH_KEY, ("nic", node), config.propagation_ns)
+        leaf = topo.leaf_of(node, config.num_nodes)
+        planner.add_node(("nic", node), subtree=("leaf", leaf))
+        planner.add_edge(("leaf", leaf), ("nic", node), config.propagation_ns)
     return planner.plan(config.shards)
 
 
@@ -126,11 +156,20 @@ class EdmCluster:
         )
         timing = dram_timing if dram_timing is not None else DramTiming()
         self.nics: Dict[int, EdmHostNic] = {}
-        # Per-node links, exposed so fault injectors (scenarios, serving)
-        # can block or degrade them by node id, mirroring the queueing
-        # substrate's SubstrateTopology surface.
+        # Per-node links, exposed through :meth:`substrate_topology` so
+        # fault injectors (scenarios, serving) can block or degrade them
+        # by node id on the generalized SubstrateTopology surface.
         self.uplinks: Dict[int, Link] = {}
         self.downlinks: Dict[int, Link] = {}
+        self.core_links: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
+        self.core_keys: Tuple[Tuple[int, int], ...] = ()
+        self._substrate: Optional[SubstrateTopology] = None
+        if not config.topology.is_single:
+            self._wire_leaf_spine(
+                plan, runtime, shard_id, switch_local, switch_ctx,
+                host_config, timing, memory_bytes,
+            )
+            return
         for node in range(config.num_nodes):
             node_key = ("nic", node)
             node_local = plan is None or plan.shard_of(node_key) == shard_id
@@ -172,6 +211,143 @@ class EdmCluster:
                     )
                 self.switch.attach_port(node, downlink)
                 self.downlinks[node] = downlink
+
+    def _wire_leaf_spine(
+        self,
+        plan: Optional[ShardPlan],
+        runtime: Optional[ShardRuntime],
+        shard_id: int,
+        switch_local: bool,
+        switch_ctx: SimContext,
+        host_config: HostConfig,
+        timing: DramTiming,
+        memory_bytes: int,
+    ) -> None:
+        """Wire the leaf tier between hosts and the scheduled core.
+
+        Each leaf is a trunk mux, not a store-and-forward switch: its
+        member hosts' uplinks feed one shared leaf→core trunk running at
+        the oversubscribed rate, and the core reaches the leaf over one
+        core→leaf trunk whose demux fans transfers out to per-host access
+        links.  Leaves transmit on their own sequence lanes
+        (``2 + N + leaf``) and always co-shard with their member hosts
+        (subtree placement units), so only trunks ever become
+        :class:`~repro.sim.link.ShardLink` mailboxes.
+        """
+        config = self.config
+        topo = config.topology
+        core_prop = topo.core_prop(config.propagation_ns)
+        trunk_gbps = topo.trunk_gbps(config.link_gbps, config.num_nodes)
+        for leaf in range(topo.leaves):
+            leaf_key = ("leaf", leaf)
+            leaf_local = plan is None or plan.shard_of(leaf_key) == shard_id
+            members = [
+                node for node in range(config.num_nodes)
+                if topo.leaf_of(node, config.num_nodes) == leaf
+            ]
+            halves: List[Link] = []
+            demux = None
+            if leaf_local:
+                leaf_ctx = self.ctx.lane(
+                    HOST_LANE_BASE + config.num_nodes + leaf
+                )
+                if switch_local:
+                    trunk_up = Link(
+                        leaf_ctx, trunk_gbps, core_prop,
+                        receiver=self.switch.on_ingress,
+                        name=f"trunk_up{leaf}",
+                    )
+                else:
+                    trunk_up = ShardLink(
+                        leaf_ctx, trunk_gbps, core_prop,
+                        route_key=SWITCH_KEY, outbox=runtime.outbox,
+                        name=f"trunk_up{leaf}",
+                    )
+                halves.append(trunk_up)
+
+                def forward_up(transfer, trunk=trunk_up) -> None:
+                    trunk.send(transfer, transfer.blocks * 8)
+
+                access: Dict[int, Link] = {}
+                for node in members:
+                    host_ctx = self.ctx.lane(HOST_LANE_BASE + node)
+                    nic = EdmHostNic(host_ctx, node, self.router, host_config)
+                    nic.attach_memory(MemoryController(memory_bytes, timing))
+                    uplink = Link(
+                        host_ctx, config.link_gbps, config.propagation_ns,
+                        receiver=forward_up, name=f"up{node}",
+                    )
+                    nic.attach_uplink(uplink)
+                    self.nics[node] = nic
+                    self.uplinks[node] = uplink
+                    # Access downlinks transmit on behalf of the leaf, so
+                    # they draw from the leaf's lane.
+                    down = Link(
+                        leaf_ctx, config.link_gbps, config.propagation_ns,
+                        receiver=nic.on_wire, name=f"down{node}",
+                    )
+                    access[node] = down
+                    self.downlinks[node] = down
+
+                def demux(transfer, access=access) -> None:
+                    access[transfer.dst].send(transfer, transfer.blocks * 8)
+
+                if runtime is not None:
+                    runtime.register(leaf_key, demux)
+            if switch_local:
+                # Core→leaf trunks transmit on behalf of the core, so
+                # they draw from the switch's lane and live in its shard.
+                if leaf_local:
+                    trunk_down = Link(
+                        switch_ctx, trunk_gbps, core_prop,
+                        receiver=demux, name=f"trunk_down{leaf}",
+                    )
+                else:
+                    trunk_down = ShardLink(
+                        switch_ctx, trunk_gbps, core_prop,
+                        route_key=leaf_key, outbox=runtime.outbox,
+                        name=f"trunk_down{leaf}",
+                    )
+                # Every member port shares the leaf's trunk: grants
+                # toward co-leaf destinations serialize over it, which is
+                # exactly the oversubscription the topology models.
+                for node in members:
+                    self.switch.attach_port(node, trunk_down)
+                halves.append(trunk_down)
+            if halves:
+                self.core_links[(leaf, 0)] = tuple(halves)
+        self.core_keys = tuple((leaf, 0) for leaf in range(topo.leaves))
+
+    def substrate_topology(self) -> SubstrateTopology:
+        """This cluster's fault/observability surface (docs/TOPOLOGY.md).
+
+        Built lazily and cached — the fault lane must be requested from
+        the simulator exactly once.  The returned context carries a
+        *private* StatsSink: fault bookkeeping fires inside worker shards
+        on sharded runs, where the parent's sink cannot see it, so
+        keeping it out of the run's stats keeps serial and sharded
+        artifacts byte-identical.
+        """
+        if self._substrate is None:
+            config = self.config
+            topo = config.topology
+            extra = 0 if topo.is_single else topo.leaves
+            lane_ctx = self.ctx.lane(HOST_LANE_BASE + config.num_nodes + extra)
+            fault_ctx = SimContext(
+                sim=lane_ctx.sim, rng=lane_ctx.rng, stats=StatsSink()
+            )
+            switches = {SWITCH_KEY: self.switch} if self.switch is not None else {}
+            self._substrate = SubstrateTopology(
+                ctx=fault_ctx,
+                spec=topo,
+                uplinks=dict(self.uplinks),
+                downlinks=dict(self.downlinks),
+                switches=switches,
+                core_links=dict(self.core_links),
+                num_hosts=config.num_nodes,
+                core_keys=self.core_keys,
+            )
+        return self._substrate
 
     def nic(self, node: int) -> EdmHostNic:
         try:
@@ -228,6 +404,7 @@ def _build_edm_shard(
     early_release: bool,
     plan: ShardPlan,
     ordered: Tuple[OfferedMessage, ...],
+    hook: Optional[Callable[[SubstrateTopology], None]] = None,
 ) -> ShardRuntime:
     """Build one shard's cluster slice, inject its share of the workload."""
     # Namespace wire-message uids per shard.  Forked workers inherit the
@@ -260,6 +437,11 @@ def _build_edm_shard(
         sink.append((HOST_LANE_BASE + message.dst, now, ("w", message.src, uid)))
 
     cluster.router.on_unrouted = on_unrouted
+    if hook is not None:
+        # Install faults against this shard's slice of the substrate:
+        # each fault event draws its seq from the faulted link's own
+        # lane, so event keys match the serial run exactly.
+        hook(cluster.substrate_topology())
 
     # The offered batch replays the serial injector (lane 0): the serial
     # path's schedule_batch hands arrival-sorted message i the root seq i,
@@ -293,6 +475,7 @@ class EdmFabric(Fabric):
 
     name = "EDM"
     supports_sharding = True
+    supports_topology = True
 
     def __init__(
         self,
@@ -303,6 +486,15 @@ class EdmFabric(Fabric):
         early_release: bool = True,
     ) -> None:
         super().__init__(config)
+        topo = config.topology
+        if not topo.is_single and topo.spines != 1:
+            raise FabricError(
+                "EDM models one scheduled core switch (§3); leaf-spine EDM "
+                f"needs spines=1, got spines={topo.spines}"
+            )
+        # Scenario engine sets this to FaultInjector.install; called with
+        # the cluster's SubstrateTopology before any workload event runs.
+        self.topology_hook: Optional[Callable[[SubstrateTopology], None]] = None
         self.policy = policy
         self.zero_dram_latency = zero_dram_latency
         self.max_iterations = max_iterations
@@ -340,6 +532,8 @@ class EdmFabric(Fabric):
             early_release=self.early_release,
             context=ctx,
         )
+        if self.topology_hook is not None:
+            self.topology_hook(cluster.substrate_topology())
         result = FabricResult(fabric=self.name)
 
         def launch(message: OfferedMessage) -> None:
@@ -404,6 +598,7 @@ class EdmFabric(Fabric):
             early_release=self.early_release,
             plan=plan,
             ordered=ordered,
+            hook=self.topology_hook,
         )
         sharded = ShardedSimulator(plan, builder, backend=backend)
         payloads = sharded.run(deadline_ns=deadline_ns)

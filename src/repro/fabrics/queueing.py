@@ -15,6 +15,17 @@ DCTCP, pFabric, PFC/DCQCN, and CXL all ride on the same machinery:
   single-frame memory messages cannot fast-retransmit.
 
 Protocol personalities plug in via :class:`ProtocolPolicy`.
+
+The switching substrate is no longer hard-wired to one switch: with
+``ClusterConfig.topology`` set to a leaf-spine shape (docs/TOPOLOGY.md),
+hosts hang off per-leaf :class:`BaselineSwitch` instances and cross-leaf
+traffic crosses spine switches over oversubscribable trunk links, with
+the spine picked per (src, dst) pair by the seed-stable
+:class:`~repro.topology.routing.EcmpHasher`.  Every switch runs the same
+pipeline/queue/pause machinery; PFC pause and CXL credits act
+switch-locally (per-hop backpressure, not end-to-end — the documented
+simplification).  The single-switch path is byte- and event-identical to
+the pre-topology code.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, Hashable, List, Optional
 
 from repro.errors import FabricError
 from repro.fabrics.base import (
@@ -37,6 +48,7 @@ from repro.mac.frame import MTU_PAYLOAD_BYTES, frame_wire_bytes
 from repro.sim.engine import Process, Simulator
 from repro.sim.link import Link
 from repro.switchfab.l2switch import PIPELINE_NS
+from repro.topology import EcmpHasher, SubstrateTopology
 
 #: Wire size of an RREQ frame: 8 B payload in a minimum Ethernet frame.
 RREQ_WIRE_BYTES = frame_wire_bytes(8)
@@ -220,26 +232,34 @@ class _EgressState:
 
 
 class BaselineSwitch(Process):
-    """The shared switch: L2 pipeline + per-protocol queue behaviour."""
+    """The shared switch: L2 pipeline + per-protocol queue behaviour.
+
+    Ports are keyed by any hashable — host node ids on an access switch,
+    tier tuples like ``("up", spine)`` / ``("leaf", leaf)`` on multi-tier
+    wiring.  ``route``, when set, maps a frame to its egress port;
+    ``None`` (the single-switch default) routes straight to ``frame.dst``.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         policy: ProtocolPolicy,
         pipeline_ns: float = PIPELINE_NS,
+        name: Optional[str] = None,
     ) -> None:
-        super().__init__(sim, f"{policy.name}-switch")
+        super().__init__(sim, name or f"{policy.name}-switch")
         self.policy = policy
         self.pipeline_ns = pipeline_ns
-        self.egress_links: Dict[int, Link] = {}
-        self.egress: Dict[int, _EgressState] = {}
-        self.ingress: Dict[int, Deque[Frame]] = {}
-        self._ingress_blocked: Dict[int, bool] = {}
+        self.egress_links: Dict[Hashable, Link] = {}
+        self.egress: Dict[Hashable, _EgressState] = {}
+        self.ingress: Dict[Hashable, Deque[Frame]] = {}
+        self._ingress_blocked: Dict[Hashable, bool] = {}
         self.drops = 0
+        self.route: Optional[Callable[[Frame], Hashable]] = None
         self.on_mark: Optional[Callable[[Frame], None]] = None
         self.on_drop: Optional[Callable[[Frame], None]] = None
 
-    def attach_port(self, node_id: int, link: Link) -> None:
+    def attach_port(self, node_id: Hashable, link: Link) -> None:
         self.egress_links[node_id] = link
         state = _EgressState()
         state.credits = self.policy.credit_bytes
@@ -247,24 +267,43 @@ class BaselineSwitch(Process):
         self.ingress[node_id] = deque()
         self._ingress_blocked[node_id] = False
 
+    def _egress_port(self, frame: Frame) -> Hashable:
+        if self.route is None:
+            return frame.dst
+        return self.route(frame)
+
     # -- ingress --------------------------------------------------------- #
 
     def on_ingress(self, frame: Frame) -> None:
-        self.post(self.pipeline_ns, lambda: self._after_pipeline(frame))
+        self.post(self.pipeline_ns, lambda: self._after_pipeline(frame, frame.src))
 
-    def _after_pipeline(self, frame: Frame) -> None:
+    def ingress_receiver(self, port: Hashable) -> Callable[[Frame], None]:
+        """A receiver callback tagging arrivals with the ingress ``port``.
+
+        Host uplinks land on :meth:`on_ingress` (ingress port = the
+        sending host); inter-switch trunks use this instead, because the
+        frame's ``src`` names the original host, not the trunk the frame
+        arrived on — and lossless FIFOs are per ingress *port*.
+        """
+
+        def receive(frame: Frame) -> None:
+            self.post(self.pipeline_ns, lambda: self._after_pipeline(frame, port))
+
+        return receive
+
+    def _after_pipeline(self, frame: Frame, port: Hashable) -> None:
         if self.policy.lossless == LosslessMode.NONE:
             self._enqueue_egress(frame)
         else:
-            self.ingress[frame.src].append(frame)
-            self._advance_ingress(frame.src)
+            self.ingress[port].append(frame)
+            self._advance_ingress(port)
 
-    def _advance_ingress(self, src: int) -> None:
+    def _advance_ingress(self, src: Hashable) -> None:
         """Move ingress head frames to egress while permitted (HoL point)."""
         queue = self.ingress[src]
         while queue:
             head = queue[0]
-            state = self.egress[head.dst]
+            state = self.egress[self._egress_port(head)]
             if self.policy.lossless == LosslessMode.PAUSE and state.paused:
                 return  # head-of-line blocked
             if (
@@ -280,7 +319,8 @@ class BaselineSwitch(Process):
     # -- egress ------------------------------------------------------------ #
 
     def _enqueue_egress(self, frame: Frame) -> None:
-        state = self.egress[frame.dst]
+        port = self._egress_port(frame)
+        state = self.egress[port]
         depth = state.queued_bytes
         if (
             self.policy.buffer_bytes is not None
@@ -311,9 +351,9 @@ class BaselineSwitch(Process):
         else:
             state.queued.append(frame)
         state.queued_bytes += frame.wire_bytes
-        self._update_pause(frame.dst)
+        self._update_pause(port)
         if len(state.queued) == 1:
-            self._serve(frame.dst)
+            self._serve(port)
 
     def _drop(self, frame: Frame, state: _EgressState) -> None:
         if self.policy.discipline == QueueDiscipline.SRPT and state.queued:
@@ -335,7 +375,7 @@ class BaselineSwitch(Process):
         if self.on_drop is not None:
             self.on_drop(frame)
 
-    def _serve(self, port: int) -> None:
+    def _serve(self, port: Hashable) -> None:
         state = self.egress[port]
         if state.serving or not state.queued:
             return
@@ -346,7 +386,7 @@ class BaselineSwitch(Process):
         done_at = link.busy_until
         self.sim.post_at(done_at, lambda: self._served(port, frame))
 
-    def _served(self, port: int, frame: Frame) -> None:
+    def _served(self, port: Hashable, frame: Frame) -> None:
         state = self.egress[port]
         state.serving = False
         state.queued.pop(0)
@@ -358,7 +398,7 @@ class BaselineSwitch(Process):
         if state.queued:
             self._serve(port)
 
-    def _update_pause(self, port: int) -> None:
+    def _update_pause(self, port: Hashable) -> None:
         if self.policy.lossless != LosslessMode.PAUSE:
             return
         state = self.egress[port]
@@ -377,33 +417,6 @@ class BaselineSwitch(Process):
         return sum(s.queued_bytes for s in self.egress.values())
 
 
-@dataclass
-class SubstrateTopology:
-    """Handle onto one run's live components, passed to ``topology_hook``.
-
-    The scenario engine's fault injector uses it to reach the links and
-    switch of a run *after* wiring but *before* the event loop starts, so
-    fault events can be scheduled against the same simulator the workload
-    runs on.  ``uplinks``/``downlinks`` are keyed by node id.
-    """
-
-    ctx: object                     # SimContext of this run
-    switch: "BaselineSwitch"
-    hosts: Dict[int, "BaselineHost"]
-
-    @property
-    def sim(self) -> Simulator:
-        return self.ctx.sim
-
-    @property
-    def uplinks(self) -> Dict[int, Link]:
-        return {node: host.uplink for node, host in self.hosts.items()}
-
-    @property
-    def downlinks(self) -> Dict[int, Link]:
-        return dict(self.switch.egress_links)
-
-
 class QueueingFabric(Fabric):
     """A complete baseline fabric parameterized by a ProtocolPolicy.
 
@@ -412,29 +425,25 @@ class QueueingFabric(Fabric):
     event loop starts — the attachment point for fault injection.
     """
 
+    supports_topology = True
+
     def __init__(self, config: ClusterConfig, policy: ProtocolPolicy) -> None:
         super().__init__(config)
         self.policy = policy
         self.name = policy.name
         self.topology_hook: Optional[Callable[[SubstrateTopology], None]] = None
 
-    # ------------------------------------------------------------------ #
+    # -- wiring --------------------------------------------------------- #
 
-    def run(
-        self,
-        messages: List[OfferedMessage],
-        *,
-        deadline_ns: Optional[float] = None,
-    ) -> FabricResult:
-        ctx = self.new_context()
-        sim = ctx.sim
-        policy = self.policy
-        switch = BaselineSwitch(ctx, policy)
-        hosts: Dict[int, BaselineHost] = {}
-        result = FabricResult(fabric=self.name)
-
+    def _wire_single(
+        self, ctx, hosts: Dict[int, BaselineHost]
+    ) -> SubstrateTopology:
+        """The degenerate topology: every host on one implicit switch."""
+        switch = BaselineSwitch(ctx, self.policy)
+        uplinks: Dict[int, Link] = {}
+        downlinks: Dict[int, Link] = {}
         for node in range(self.config.num_nodes):
-            host = BaselineHost(ctx, node, self.config.link_gbps, policy)
+            host = BaselineHost(ctx, node, self.config.link_gbps, self.policy)
             uplink = Link(
                 ctx, self.config.link_gbps, self.config.propagation_ns,
                 receiver=switch.on_ingress, name=f"up{node}",
@@ -446,9 +455,142 @@ class QueueingFabric(Fabric):
             )
             switch.attach_port(node, downlink)
             hosts[node] = host
+            uplinks[node] = uplink
+            downlinks[node] = downlink
+        return SubstrateTopology(
+            ctx=ctx,
+            spec=self.config.topology,
+            uplinks=uplinks,
+            downlinks=downlinks,
+            switches={("switch",): switch},
+        )
+
+    def _wire_leaf_spine(
+        self, ctx, hosts: Dict[int, BaselineHost]
+    ) -> SubstrateTopology:
+        """Two-tier Clos: per-leaf access switches, ECMP over the spines.
+
+        Each leaf attaches its member hosts plus one trunk per spine
+        (egress port ``("up", s)``); each spine attaches one trunk per
+        leaf (egress port ``("leaf", l)``).  Trunks run at the
+        oversubscribed rate from ``TopologySpec.trunk_gbps``, and a
+        frame's spine is the seed-stable per-(src, dst)-pair hash, so a
+        flow never reorders across equal-cost paths.
+        """
+        config = self.config
+        spec = config.topology
+        policy = self.policy
+        num_nodes = config.num_nodes
+        core_prop = spec.core_prop(config.propagation_ns)
+        trunk_gbps = spec.trunk_gbps(config.link_gbps, num_nodes)
+        hasher = EcmpHasher(config.seed, spec.spines)
+
+        leaves = [
+            BaselineSwitch(ctx, policy, name=f"{policy.name}-leaf{l}")
+            for l in range(spec.leaves)
+        ]
+        spines = [
+            BaselineSwitch(ctx, policy, name=f"{policy.name}-spine{s}")
+            for s in range(spec.spines)
+        ]
+
+        def leaf_route(leaf_idx: int) -> Callable[[Frame], Hashable]:
+            def route(frame: Frame) -> Hashable:
+                if spec.leaf_of(frame.dst, num_nodes) == leaf_idx:
+                    return frame.dst
+                return ("up", hasher.spine_for(frame.src, frame.dst))
+
+            return route
+
+        def spine_route(frame: Frame) -> Hashable:
+            return ("leaf", spec.leaf_of(frame.dst, num_nodes))
+
+        for l, leaf in enumerate(leaves):
+            leaf.route = leaf_route(l)
+        for spine in spines:
+            spine.route = spine_route
+
+        uplinks: Dict[int, Link] = {}
+        downlinks: Dict[int, Link] = {}
+        for node in range(num_nodes):
+            leaf = leaves[spec.leaf_of(node, num_nodes)]
+            host = BaselineHost(ctx, node, config.link_gbps, policy)
+            uplink = Link(
+                ctx, config.link_gbps, config.propagation_ns,
+                receiver=leaf.on_ingress, name=f"up{node}",
+            )
+            host.uplink = uplink
+            downlink = Link(
+                ctx, config.link_gbps, config.propagation_ns,
+                name=f"down{node}",
+            )
+            leaf.attach_port(node, downlink)
+            hosts[node] = host
+            uplinks[node] = uplink
+            downlinks[node] = downlink
+
+        core_links: Dict[tuple, tuple] = {}
+        for l, leaf in enumerate(leaves):
+            for s, spine in enumerate(spines):
+                up_trunk = Link(
+                    ctx, trunk_gbps, core_prop,
+                    receiver=spine.ingress_receiver(("leaf", l)),
+                    name=f"trunk_up{l}.{s}",
+                )
+                leaf.attach_port(("up", s), up_trunk)
+                down_trunk = Link(
+                    ctx, trunk_gbps, core_prop,
+                    receiver=leaf.ingress_receiver(("up", s)),
+                    name=f"trunk_down{l}.{s}",
+                )
+                spine.attach_port(("leaf", l), down_trunk)
+                core_links[(l, s)] = (up_trunk, down_trunk)
+
+        switches: Dict[Hashable, BaselineSwitch] = {}
+        for l, leaf in enumerate(leaves):
+            switches[("leaf", l)] = leaf
+        for s, spine in enumerate(spines):
+            switches[("spine", s)] = spine
+        return SubstrateTopology(
+            ctx=ctx,
+            spec=spec,
+            uplinks=uplinks,
+            downlinks=downlinks,
+            switches=switches,
+            core_links=core_links,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        messages: List[OfferedMessage],
+        *,
+        deadline_ns: Optional[float] = None,
+    ) -> FabricResult:
+        ctx = self.new_context()
+        sim = ctx.sim
+        hosts: Dict[int, BaselineHost] = {}
+        result = FabricResult(fabric=self.name)
+
+        spec = self.config.topology
+        if spec.is_single:
+            substrate = self._wire_single(ctx, hosts)
+        else:
+            substrate = self._wire_leaf_spine(ctx, hosts)
+        switches = list(substrate.switches.values())
 
         # An ACK/ECN echo reaches the sender about one RTT after delivery.
-        feedback_delay = 2 * self.config.propagation_ns + PIPELINE_NS
+        # Multi-tier paths cross two extra pipelines and the core both
+        # ways; the cross-leaf RTT is used uniformly (the conservative
+        # bound — same-leaf flows just see slightly laggier feedback).
+        if spec.is_single:
+            feedback_delay = 2 * self.config.propagation_ns + PIPELINE_NS
+        else:
+            core_prop = spec.core_prop(self.config.propagation_ns)
+            feedback_delay = (
+                2 * (self.config.propagation_ns + core_prop) + 3 * PIPELINE_NS
+            )
 
         def deliver(frame: Frame) -> None:
             flow = frame.flow
@@ -478,7 +620,7 @@ class QueueingFabric(Fabric):
                 )
 
         for node in range(self.config.num_nodes):
-            switch.egress_links[node].connect(deliver)
+            substrate.downlinks[node].connect(deliver)
 
         def _launch_data(flow: FlowMessage) -> None:
             host = hosts[flow.data_src]
@@ -531,10 +673,11 @@ class QueueingFabric(Fabric):
                 sim.now + self.policy.rto_ns, lambda: sender.inject(frame)
             )
 
-        switch.on_drop = on_drop
+        for sw in switches:
+            sw.on_drop = on_drop
 
         if self.topology_hook is not None:
-            self.topology_hook(SubstrateTopology(ctx=ctx, switch=switch, hosts=hosts))
+            self.topology_hook(substrate)
 
         sim.schedule_batch(
             (
@@ -546,7 +689,7 @@ class QueueingFabric(Fabric):
         sim.run(until=deadline_ns)
         result.incomplete = len(messages) - len(result.records)
         ctx.stats.incr("messages_offered", len(messages))
-        ctx.stats.incr("frames_dropped", switch.drops)
+        ctx.stats.incr("frames_dropped", sum(sw.drops for sw in switches))
         ctx.stats.incr("sim_events", sim.events_processed)
         result.stats = ctx.stats.to_dict()
         return result

@@ -60,6 +60,7 @@ def _workload_spec(spec: ScenarioSpec):
             degree=w.degree,
             write_fraction=w.write_fraction,
             seed=spec.seed,
+            victim=None if w.victim < 0 else w.victim,
         )
     if w.kind == "shuffle":
         rounds = w.rounds
@@ -106,6 +107,7 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, object]:
         seed=spec.seed,
         kernel=spec.kernel,
         shards=spec.shards,
+        topology=spec.topology,
     )
     fabric = fabric_info(spec.fabric).factory(config)
     if spec.shards > 1 and not fabric.supports_sharding:
@@ -121,8 +123,10 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, object]:
     span_ns = max((m.arrival_ns for m in messages), default=0.0) or 1.0
     injector = FaultInjector(tuple(f.resolved(span_ns) for f in spec.faults))
     if spec.faults:
-        # Only faultable fabrics reach here (ScenarioSpec validates), and
-        # every faultable fabric rides the queueing substrate's hook.
+        # Only fault-capable fabrics reach here (ScenarioSpec validates:
+        # 'faultable' for the full queueing machinery incl. failover,
+        # 'linkfault' for fabrics exposing link faults through their own
+        # SubstrateTopology surface).
         fabric.topology_hook = injector.install
     result = fabric.run(messages, deadline_ns=spec.deadline_ns)
 
@@ -134,6 +138,7 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, object]:
         "workload": spec.workload.kind,
         "num_nodes": spec.num_nodes,
         "seed": spec.seed,
+        "topology": spec.topology,
         "faults": [f.describe() for f in spec.faults],
         "offered": len(messages),
         "completed": len(result.records),
@@ -147,7 +152,15 @@ def run_scenario(spec: ScenarioSpec) -> Dict[str, object]:
             max(r.completed_at for r in result.records)
             if result.records else None
         ),
-        "fault_summary": injector.summary(),
+        # Sharding-capable fabrics install fault events inside worker
+        # shards, where the parent injector's runtime log cannot see them
+        # fire; their rows use the deterministic spec-derived schedule so
+        # serial and sharded artifacts stay byte-identical.
+        "fault_summary": (
+            injector.planned_summary()
+            if fabric.supports_sharding
+            else injector.summary()
+        ),
         "stats": result.stats,
     }
     return row
@@ -165,6 +178,7 @@ def _scenario_cells(
     message_count: Optional[int] = None,
     kernel: Optional[str] = None,
     shards: Optional[int] = None,
+    topology: Optional[str] = None,
 ) -> List[Cell]:
     selected = list(names) if names else scenario_names()
     duplicates = {n for n in selected if selected.count(n) > 1}
@@ -186,6 +200,8 @@ def _scenario_cells(
             overrides["kernel"] = kernel
         if shards is not None:
             overrides["shards"] = shards
+        if topology is not None:
+            overrides["topology"] = topology
         cells.append(
             make_cell(
                 "scenarios",
@@ -207,6 +223,7 @@ def _scenario_cell(cell: Cell) -> Dict[str, object]:
             seed=cell.seed,
             kernel=cell.param("kernel"),
             shards=cell.param("shards"),
+            topology=cell.param("topology"),
         )
     )
 

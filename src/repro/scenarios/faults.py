@@ -1,10 +1,18 @@
 """Fault injection: schedule a :class:`FaultSpec` list into a live run.
 
-The injector attaches through the queueing substrate's ``topology_hook``
-(see :class:`repro.fabrics.queueing.SubstrateTopology`): it receives the
-run's switch, hosts, and links after wiring and schedules every fault
-through the event kernel's ``post_at``, so faults replay deterministically
-in the same total event order as the workload itself.
+The injector attaches through a fabric's ``topology_hook`` (see
+:class:`repro.topology.SubstrateTopology`): it receives the run's
+switches and links after wiring and schedules every fault through the
+event kernel's ``post_at``, so faults replay deterministically in the
+same total event order as the workload itself.  Link faults schedule
+*one event per affected link, on that link's own simulator handle* —
+under conservative sharding each link lives in exactly one shard with
+its own sequence lane, so the sharded run installs the identical event
+set (same times, same lanes, same per-lane order) as the serial run and
+the bit-identity contract survives fault injection.  ``scope="core"``
+faults resolve against the topology's *global* trunk key list
+(``SubstrateTopology.core_keys``) and then act on whichever trunk halves
+are locally present.
 
 Fault mechanics:
 
@@ -28,9 +36,9 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Tuple
 
-from repro.fabrics.queueing import SubstrateTopology
 from repro.scenarios.spec import FaultSpec
 from repro.sim.link import Link
+from repro.topology import SubstrateTopology
 from repro.switchfab.failover import (
     DuplicateSuppressor,
     FailoverController,
@@ -69,65 +77,104 @@ class FaultInjector:
 
     def _fault_links(
         self, topo: SubstrateTopology, fault: FaultSpec
-    ) -> List[Tuple[int, Link]]:
-        """The (node, link) pairs a link-level fault touches (up + down).
+    ) -> List[Tuple[object, Link]]:
+        """The (label, link) pairs a link-level fault touches.
 
-        Node ids beyond the (possibly scaled-down) cluster clamp onto the
+        Host scope pairs each node with its access uplink + downlink;
+        core scope resolves ``nodes`` as indices into the *global* sorted
+        ``(leaf, spine)`` trunk list and touches both trunk directions.
+        Ids beyond the (possibly scaled-down) shape clamp onto the
         surviving range, so a catalog scenario keeps a valid schedule at
-        smoke-test scale.
+        smoke-test scale.  Resolution always runs against the global
+        shape (``num_hosts`` / ``core_keys``) and then filters to links
+        present in this substrate, so every shard of a sharded run
+        derives the same schedule and each physical link is faulted
+        exactly once.
         """
+        pairs: List[Tuple[object, Link]] = []
+        if fault.scope == "core":
+            keys = topo.core_keys
+            if not keys:
+                return pairs
+            if fault.nodes is None:
+                chosen = list(keys)
+            else:
+                chosen = sorted({keys[n % len(keys)] for n in fault.nodes})
+            for key in chosen:
+                for link in topo.core_links.get(key, ()):
+                    pairs.append((f"core{key}", link))
+            return pairs
         uplinks = topo.uplinks
         downlinks = topo.downlinks
+        num_hosts = topo.num_hosts or len(uplinks)
         if fault.nodes is None:
-            nodes = sorted(uplinks)
+            nodes = sorted(set(uplinks) | set(downlinks))
         else:
-            nodes = sorted({n % len(uplinks) for n in fault.nodes})
-        pairs: List[Tuple[int, Link]] = []
+            nodes = sorted({n % num_hosts for n in fault.nodes})
         for node in nodes:
-            pairs.append((node, uplinks[node]))
-            pairs.append((node, downlinks[node]))
+            if node in uplinks:
+                pairs.append((node, uplinks[node]))
+            if node in downlinks:
+                pairs.append((node, downlinks[node]))
         return pairs
 
+    @staticmethod
+    def _labels(pairs: List[Tuple[object, Link]]) -> List[object]:
+        # Labels are homogeneous per fault (ints for host scope, strings
+        # for core scope), so plain sorting keeps the old log format.
+        return sorted({label for label, _ in pairs})
+
     def _install_link_down(self, topo: SubstrateTopology, fault: FaultSpec) -> None:
-        sim = topo.sim
         pairs = self._fault_links(topo, fault)
-        nodes = sorted({node for node, _ in pairs})
+        nodes = self._labels(pairs)
+        # One event per link, scheduled on the link's own simulator
+        # handle (its sequence lane): under sharding each link exists in
+        # exactly one shard, so serial and sharded runs install identical
+        # event sets.  The note/stat rides the first link's event only.
+        for idx, (_, link) in enumerate(pairs):
+            sim = link.sim
 
-        def down() -> None:
-            for _, link in pairs:
+            def down(link=link, sim=sim, first=(idx == 0)) -> None:
                 link.block_until(fault.until_ns)
-            self._note(sim, "link_down", f"nodes={nodes} until={fault.until_ns:g}")
-            topo.ctx.stats.incr("fault_link_down")
+                if first:
+                    self._note(
+                        sim, "link_down",
+                        f"nodes={nodes} until={fault.until_ns:g}",
+                    )
+                    topo.ctx.stats.incr("fault_link_down")
 
-        sim.post_at(fault.at_ns, down)
+            sim.post_at(fault.at_ns, down)
 
     def _install_degraded(self, topo: SubstrateTopology, fault: FaultSpec) -> None:
-        sim = topo.sim
         pairs = self._fault_links(topo, fault)
-        nodes = sorted({node for node, _ in pairs})
+        nodes = self._labels(pairs)
         # Restore puts back the factor each link had when this window
         # opened (not a blanket 1.0), so windows that touch disjoint
         # state — or nest cleanly — cannot erase each other.  Overlapping
         # same-link windows are rejected at spec validation.
         prior: Dict[int, float] = {}
 
-        def degrade() -> None:
-            for _, link in pairs:
+        for idx, (_, link) in enumerate(pairs):
+            sim = link.sim
+
+            def degrade(link=link, sim=sim, first=(idx == 0)) -> None:
                 prior[id(link)] = link.rate_factor
                 link.set_rate_factor(fault.factor)
-            self._note(
-                sim, "degraded_bw",
-                f"nodes={nodes} factor={fault.factor:g} until={fault.until_ns:g}",
-            )
-            topo.ctx.stats.incr("fault_degraded_bw")
+                if first:
+                    self._note(
+                        sim, "degraded_bw",
+                        f"nodes={nodes} factor={fault.factor:g} "
+                        f"until={fault.until_ns:g}",
+                    )
+                    topo.ctx.stats.incr("fault_degraded_bw")
 
-        def restore() -> None:
-            for _, link in pairs:
+            def restore(link=link, sim=sim, first=(idx == 0)) -> None:
                 link.set_rate_factor(prior.get(id(link), 1.0))
-            self._note(sim, "degraded_bw_end", f"nodes={nodes}")
+                if first:
+                    self._note(sim, "degraded_bw_end", f"nodes={nodes}")
 
-        sim.post_at(fault.at_ns, degrade)
-        sim.post_at(fault.until_ns, restore)
+            sim.post_at(fault.at_ns, degrade)
+            sim.post_at(fault.until_ns, restore)
 
     def _install_failover(self, topo: SubstrateTopology, fault: FaultSpec) -> None:
         sim = topo.sim
@@ -201,6 +248,51 @@ class FaultInjector:
     def drained(self) -> bool:
         """True when every mirrored delivery has been resolved."""
         return self.in_flight == 0
+
+    def planned_summary(self) -> Dict[str, object]:
+        """Spec-derived summary, independent of where events executed.
+
+        Sharded runs install fault events inside worker shards, so the
+        parent injector's runtime :attr:`log` is empty (or, in-process,
+        duplicated per shard build).  The *schedule* is a pure function
+        of the resolved specs, so scenario rows for sharding-capable
+        fabrics report this deterministic form instead — identical
+        serial and sharded by construction.  Requires absolute-time
+        (already resolved) fault specs.
+        """
+        entries: List[Dict[str, object]] = []
+        for fault in self.faults:
+            if fault.kind == "link_down":
+                entries.append(
+                    {"t_ns": fault.at_ns, "fault": "link_down",
+                     "detail": fault.describe()}
+                )
+            elif fault.kind == "degraded_bw":
+                entries.append(
+                    {"t_ns": fault.at_ns, "fault": "degraded_bw",
+                     "detail": fault.describe()}
+                )
+                entries.append(
+                    {"t_ns": fault.until_ns, "fault": "degraded_bw_end",
+                     "detail": fault.describe()}
+                )
+            else:
+                entries.append(
+                    {"t_ns": fault.at_ns, "fault": "failover",
+                     "detail": fault.describe()}
+                )
+                if fault.until_ns is not None:
+                    entries.append(
+                        {"t_ns": fault.until_ns, "fault": "failover_restore",
+                         "detail": fault.describe()}
+                    )
+        entries.sort(key=lambda e: e["t_ns"])
+        return {
+            "faults_scheduled": len(self.faults),
+            "faults_fired": len(entries),
+            "log": entries,
+            "planned": True,
+        }
 
     def summary(self) -> Dict[str, object]:
         out: Dict[str, object] = {

@@ -78,21 +78,38 @@ class ShardPlanner:
     key) into the unpinned shards, balancing by weight, and derives the
     window lookahead as the minimum over cut edges.  Deterministic: the
     same graph always yields the same plan.
+
+    Nodes sharing a ``subtree`` label (e.g. a leaf switch and the hosts
+    hanging off it) are placed atomically — the whole subtree lands in
+    one shard, so intra-subtree links are never cut and the window
+    lookahead stays the (larger) core propagation.  Without subtrees the
+    fill is key-by-key, exactly the pre-topology algorithm.
     """
 
     def __init__(self) -> None:
         self._weights: Dict[Hashable, float] = {}
         self._pins: Dict[Hashable, int] = {}
+        self._subtrees: Dict[Hashable, Hashable] = {}
         self._edges: List[Tuple[Hashable, Hashable, float]] = []
 
     def add_node(
-        self, key: Hashable, weight: float = 1.0, pin: Optional[int] = None
+        self,
+        key: Hashable,
+        weight: float = 1.0,
+        pin: Optional[int] = None,
+        subtree: Optional[Hashable] = None,
     ) -> None:
         if key in self._weights:
             raise SimulationError(f"duplicate shard-plan node {key!r}")
+        if pin is not None and subtree is not None:
+            raise SimulationError(
+                f"node {key!r} cannot be both pinned and subtree-grouped"
+            )
         self._weights[key] = weight
         if pin is not None:
             self._pins[key] = pin
+        if subtree is not None:
+            self._subtrees[key] = subtree
 
     def add_edge(self, a: Hashable, b: Hashable, lookahead_ns: float) -> None:
         if lookahead_ns <= 0:
@@ -118,9 +135,26 @@ class ShardPlanner:
         open_shards = [
             s for s in range(num_shards) if s not in set(self._pins.values())
         ] or list(range(num_shards))
-        if free and len(open_shards) > len(free):
+        # Atomic placement units: keys sharing a subtree label travel
+        # together (unit order = first appearance in the sorted key
+        # order); unlabeled keys are singleton units, reproducing the
+        # pre-subtree fill bit-for-bit when no labels exist.
+        units: List[List[Hashable]] = []
+        unit_index: Dict[Hashable, int] = {}
+        for key in free:
+            label = self._subtrees.get(key)
+            if label is None:
+                units.append([key])
+                continue
+            at = unit_index.get(label)
+            if at is None:
+                unit_index[label] = len(units)
+                units.append([key])
+            else:
+                units[at].append(key)
+        if free and len(open_shards) > len(units):
             raise SimulationError(
-                f"{num_shards} shards for {len(self._weights)} components "
+                f"{num_shards} shards for {len(units)} placement units "
                 "would leave shards empty"
             )
         # Contiguous fill by cumulative weight: keeps neighbouring keys
@@ -128,17 +162,18 @@ class ShardPlanner:
         total = sum(self._weights[k] for k in free)
         filled = 0.0
         cursor = 0
-        for index, key in enumerate(free):
+        for index, unit in enumerate(units):
             share = total * (cursor + 1) / len(open_shards)
-            remaining_nodes = len(free) - index
+            remaining_units = len(units) - index
             remaining_shards = len(open_shards) - cursor
             if filled >= share and remaining_shards > 1:
                 cursor += 1
-            elif remaining_nodes == remaining_shards - 1 and remaining_shards > 1:
+            elif remaining_units == remaining_shards - 1 and remaining_shards > 1:
                 # Never strand a trailing shard without a component.
                 cursor += 1
-            assignment[key] = open_shards[cursor]
-            filled += self._weights[key]
+            for key in unit:
+                assignment[key] = open_shards[cursor]
+                filled += self._weights[key]
         lookahead = math.inf
         for a, b, ns in self._edges:
             if assignment[a] != assignment[b] and ns < lookahead:
