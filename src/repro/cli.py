@@ -43,6 +43,7 @@ from repro.experiments import (
     summarize_shape_checks,
     write_artifact,
 )
+from repro.execution import new_checkpoint_path
 from repro.latency.breakdown import format_breakdown, read_breakdown, write_breakdown
 from repro.latency.table1 import format_table1
 from repro.sim.engine import DEFAULT_KERNEL, KERNELS
@@ -74,11 +75,28 @@ def _run_and_persist(
             )
         profiler = cProfile.Profile()
         profiler.enable()
+    # Resuming appends to the same journal (continue-in-place); a fresh
+    # run gets a stamped journal next to where the artifact will land.
+    resume_from: Optional[str] = getattr(args, "resume", None)
+    checkpoint_path: Optional[str] = resume_from
+    if (
+        checkpoint_path is None
+        and args.out
+        and not getattr(args, "no_checkpoint", False)
+    ):
+        checkpoint_path = new_checkpoint_path(args.out, name)
     try:
-        result = Runner(jobs=args.jobs).run(name, **options)
+        result = Runner(jobs=args.jobs).run(
+            name,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
+            **options,
+        )
     finally:
         if profiler is not None:
             profiler.disable()
+    if checkpoint_path is not None:
+        print(f"[checkpoint] {checkpoint_path}", file=sys.stderr)
     artifact_path: Optional[str] = None
     if args.out and not getattr(args, "no_artifact", False):
         # Record exactly what the runner received — not the raw argparse
@@ -465,6 +483,16 @@ def _add_runner_args(
         help="cProfile the run; writes .prof + top-25 cumulative table "
         "next to the artifact (parent process only — use --jobs 1)",
     )
+    parser.add_argument(
+        "--resume", type=str, default=None, metavar="CKPT",
+        help="replay completed cells from a checkpoint journal "
+        "(*.ckpt.jsonl, printed as [checkpoint] on a prior run) and "
+        "execute only the remainder; the journal keeps being appended",
+    )
+    parser.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="skip the crash-safe checkpoint journal (docs/RESILIENCE.md)",
+    )
 
 
 def _add_scale_args(
@@ -508,7 +536,11 @@ _SCALING_EPILOG = (
     "--topology leaf-spine:leaves=L,spines=S swaps the single switch for "
     "a routed Clos substrate (docs/TOPOLOGY.md). "
     "All knobs are bit-identical to their serial equivalents — see "
-    "docs/ARCHITECTURE.md and docs/DETERMINISM.md."
+    "docs/ARCHITECTURE.md and docs/DETERMINISM.md. "
+    "Interrupted sweeps resume from their checkpoint journal with "
+    "--resume <path>.ckpt.jsonl (docs/RESILIENCE.md); faulty cells are "
+    "retried with the same seed, so a recovered run's artifact equals a "
+    "fault-free run's."
 )
 
 

@@ -1,0 +1,180 @@
+"""Deterministic fault injector for the execution layer (test/CI only).
+
+Chaos faults are declared in the ``REPRO_CHAOS`` environment variable and
+fire at fixed hook points inside the execution layer, so tests can
+*assert* the supervisor's recovery behaviour instead of hoping a real
+crash shows up.  Nothing in this module runs unless ``REPRO_CHAOS`` is
+set; production runs pay one empty ``os.environ`` lookup per hook.
+
+Grammar (documented in docs/RESILIENCE.md)::
+
+    REPRO_CHAOS = fault ( ";" fault )*
+    fault       = kind ( ":" key "=" value )*
+
+* ``kill_worker:cell=3`` — the worker process running grid cell 3 calls
+  ``os._exit`` before executing the cell (first attempt only; add
+  ``:count=2`` to also kill the first retry, and so on).
+* ``hang:cell=3`` — the worker sleeps past any cell timeout instead of
+  running the cell (same ``count`` semantics).
+* ``kill_worker:shard=1`` / ``hang:shard=1`` — the forked shard worker
+  for shard 1 dies (or hangs) at its next window round-trip.  Shard
+  faults fire only in the ``processes`` backend; the inprocess fallback
+  path never consults them, which is exactly what lets ``auto`` degrade
+  to a fault-free run.
+* ``partial_artifact`` — the next atomic artifact write aborts midway
+  through its temp file (per-process, ``count`` times), proving an
+  interrupted run can never leave truncated JSON at the final path.
+
+Every hook is deterministic: a fault either always fires at its hook for
+a given (target, attempt) or never does, so chaos runs are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Environment variable holding the chaos fault list.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit code used by chaos-killed workers (recognizable in incident logs).
+CHAOS_EXIT_CODE = 13
+
+#: How long a chaos "hang" sleeps; any sane timeout expires first.
+DEFAULT_HOLD_S = 3600.0
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One parsed fault: a kind, its target params, and a fire budget."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    count: int = 1
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def matches(self, kind: str, attrs: Dict[str, Any]) -> bool:
+        """True when every targeting param agrees with ``attrs``."""
+        if self.kind != kind:
+            return False
+        return all(
+            key in attrs and attrs[key] == value
+            for key, value in self.params
+            if key not in ("count", "hold_s")
+        )
+
+
+_KNOWN_KINDS = ("kill_worker", "hang", "partial_artifact")
+
+
+def parse_chaos(text: str) -> Tuple[ChaosFault, ...]:
+    """Parse a ``REPRO_CHAOS`` value; raises :class:`ConfigError` on junk."""
+    faults = []
+    for chunk in filter(None, (p.strip() for p in text.split(";"))):
+        kind, _, rest = chunk.partition(":")
+        if kind not in _KNOWN_KINDS:
+            raise ConfigError(
+                f"unknown chaos fault kind {kind!r} in {chunk!r} "
+                f"(known: {', '.join(_KNOWN_KINDS)})"
+            )
+        params = []
+        count = 1
+        for pair in filter(None, rest.split(":")):
+            key, sep, raw = pair.partition("=")
+            if not sep or not key or not raw:
+                raise ConfigError(f"chaos param {pair!r} is not key=value")
+            try:
+                value: Any = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+            if key == "count":
+                if not isinstance(value, int) or value < 1:
+                    raise ConfigError(f"chaos count must be a positive int: {pair!r}")
+                count = value
+            else:
+                params.append((key, value))
+        faults.append(ChaosFault(kind=kind, params=tuple(params), count=count))
+    return tuple(faults)
+
+
+def active_faults() -> Tuple[ChaosFault, ...]:
+    """The faults currently declared in the environment (may be empty)."""
+    text = os.environ.get(CHAOS_ENV, "")
+    return parse_chaos(text) if text else ()
+
+
+def find_fault(kind: str, **attrs: Any) -> Optional[ChaosFault]:
+    """First active fault of ``kind`` whose params match ``attrs``."""
+    for fault in active_faults():
+        if fault.matches(kind, attrs):
+            return fault
+    return None
+
+
+def apply_cell_chaos(index: int, attempt: int) -> None:
+    """Worker-side hook, called just before a grid cell executes.
+
+    ``attempt`` is 1-based; a fault fires while ``attempt <= count`` so a
+    retried cell eventually runs clean — the supervisor's recovery, not
+    the chaos schedule, decides whether the grid completes.
+    """
+    fault = find_fault("kill_worker", cell=index)
+    if fault is not None and attempt <= fault.count:
+        os._exit(CHAOS_EXIT_CODE)
+    fault = find_fault("hang", cell=index)
+    if fault is not None and attempt <= fault.count:
+        time.sleep(float(fault.param("hold_s", DEFAULT_HOLD_S)))
+
+
+def apply_shard_chaos(shard_id: int) -> None:
+    """Shard-worker hook, called at each window round-trip.
+
+    Only ever reached inside forked ``processes``-backend workers; the
+    inprocess backend (and therefore the automatic fallback path) never
+    consults shard faults, so a degraded run completes fault-free.
+    """
+    fault = find_fault("kill_worker", shard=shard_id)
+    if fault is not None:
+        os._exit(CHAOS_EXIT_CODE)
+    fault = find_fault("hang", shard=shard_id)
+    if fault is not None:
+        time.sleep(float(fault.param("hold_s", DEFAULT_HOLD_S)))
+
+
+@dataclass
+class _ProcessState:
+    """Per-process fire counters for hooks without an attempt axis."""
+
+    partial_artifact_fired: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+
+_STATE = _ProcessState()
+
+
+def take_partial_artifact_fault() -> bool:
+    """Consume one ``partial_artifact`` firing (per-process budget)."""
+    fault = find_fault("partial_artifact")
+    if fault is None or _STATE.partial_artifact_fired >= fault.count:
+        return False
+    _STATE.partial_artifact_fired += 1
+    return True
+
+
+def reset_chaos_state() -> None:
+    """Forget per-process fire counters (test isolation helper)."""
+    global _STATE
+    _STATE = _ProcessState()

@@ -25,6 +25,12 @@ Compared series, when present in both payloads:
 A baseline generated from a dirty working tree draws a loud warning (see
 :func:`baseline_warnings`): its numbers describe code that was never
 committed, so the gate may be ratcheting against unreviewable state.
+
+Fault tolerance never skews the gate: cells that were retried by the
+supervised runner or replayed from a checkpoint are excluded from every
+``events_per_s`` series at the source (``perf_summary`` and the
+per-fabric aggregation), so recovered runs gate on clean timings only —
+:func:`gate_report` prints a note when that exclusion kicked in.
 """
 
 from __future__ import annotations
@@ -177,6 +183,17 @@ def gate_report(
     lines = [f"bench gate (tolerance {tolerance:g}% drop):"]
     for warning in baseline_warnings(baseline):
         lines.append(f"  WARNING: {warning}")
+    for kernel, sweep in sorted((current.get("sweep") or {}).items()):
+        retried = sweep.get("retried_cells") or sweep.get("resumed_cells")
+        if retried:
+            # perf_summary / by_fabric already exclude these cells from
+            # every events_per_s series, so the gate still sees clean
+            # timings — this line just keeps the exclusion visible.
+            lines.append(
+                f"  note: sweep.{kernel} excluded retried/resumed cells "
+                f"from its throughput series (gate ignores retried-cell "
+                f"wall times)"
+            )
     for name, base in sorted(base_series.items()):
         cur = cur_series.get(name)
         if cur is None:

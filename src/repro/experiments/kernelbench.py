@@ -13,13 +13,13 @@ queue's own cost from the fabric models that dominate end-to-end cells.
 from __future__ import annotations
 
 import itertools
-import json
 import os
 import random
 import time
 from typing import Any, Dict, Optional, Sequence
 
 from repro.errors import BenchmarkError
+from repro.execution import atomic_write_json
 from repro.experiments.runner import Runner, git_metadata
 from repro.sim.engine import KERNELS, _KERNEL_TYPES
 
@@ -162,6 +162,11 @@ def run_kernel_bench(
         reduced[kernel] = result.reduced
         by_fabric: Dict[str, Dict[str, float]] = {}
         for cell, perf in zip(result.cells, result.cell_perf):
+            if perf.get("attempts", 1) > 1 or perf.get("resumed"):
+                # Retried cells carry fault wall-time and resumed cells
+                # carry a stale one; the throughput series (and hence the
+                # bench gate) must only see clean same-machine timings.
+                continue
             agg = by_fabric.setdefault(
                 cell.fabric, {"events": 0, "wall_s": 0.0}
             )
@@ -218,10 +223,9 @@ def run_kernel_bench(
 
 
 def write_kernel_bench(payload: Dict[str, Any], path: str = "BENCH_kernel.json") -> str:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=False)
-        fh.write("\n")
-    return path
+    # Atomic so a crash mid-write can never leave a truncated baseline
+    # for the bench gate to choke on.
+    return atomic_write_json(path, payload, indent=2, sort_keys=False)
 
 
 def format_kernel_bench(payload: Dict[str, Any]) -> str:

@@ -5,26 +5,30 @@ decomposes into *cells* — independent ``(fabric, load, seed, scale)``
 points of a parameter grid.  Each registered :class:`ExperimentSpec`
 names its grid builder, a pure per-cell function, and a reducer that
 reassembles per-cell results into the figure's shape.  The
-:class:`Runner` fans cells out over ``multiprocessing`` workers and
-stores results keyed by cell index, so parallel output is bit-identical
-to a serial run regardless of worker completion order.
+:class:`Runner` fans cells out over supervised ``multiprocessing``
+workers (per-cell timeouts, worker-death detection, deterministic
+retries — see :mod:`repro.execution.supervisor`) and stores results
+keyed by cell index, so parallel output is bit-identical to a serial
+run regardless of worker completion order or how many retries a flaky
+worker cost.
 
-Artifacts: :func:`write_artifact` persists the reduced results plus the
-full per-cell record, the run configuration, and git metadata to
-``results/<experiment>/<stamp>.json`` so sweeps are comparable across
-commits.
+Artifacts: :func:`write_artifact` atomically persists the reduced
+results plus the full per-cell record, the run configuration, and git
+metadata to ``results/<experiment>/<stamp>.json`` so sweeps are
+comparable across commits.  Completed cells also stream to a crash-safe
+checkpoint journal when ``Runner.run`` is given a ``checkpoint_path``,
+so an interrupted sweep resumes from disk (``resume_from``) instead of
+starting over — contract in docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
 
 import gc
-import json
 import os
 import subprocess
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
-from multiprocessing import get_context
 from typing import (
     Any,
     Callable,
@@ -38,6 +42,9 @@ from typing import (
 )
 
 from repro.errors import ConfigError
+from repro.execution.atomic import atomic_write_json
+from repro.execution.checkpoint import CheckpointWriter, load_checkpoint
+from repro.execution.supervisor import SupervisionPolicy, supervised_map
 from repro.sim.engine import process_events_executed
 
 #: Frozen, hashable form of a parameter mapping (sorted key/value pairs).
@@ -210,22 +217,17 @@ def _timed_cell(spec: ExperimentSpec, cell: Cell) -> Tuple[Any, Dict[str, float]
     return value, perf
 
 
-def _run_indexed_cell(
-    payload: Tuple[str, int, Cell]
-) -> Tuple[int, Any, Dict[str, float]]:
-    """Worker entry point: resolve the spec by name and run one cell."""
-    name, index, cell = payload
-    value, perf = _timed_cell(get_experiment(name), cell)
-    return index, value, perf
-
-
 @dataclass
 class RunnerResult:
     """Outcome of one experiment run: per-cell results plus the reduction.
 
-    ``cell_perf`` holds one ``{wall_s, events, events_per_s}`` record per
-    cell (simulator events executed while the cell ran), so artifacts
-    track the evaluation's throughput trajectory commit over commit.
+    ``cell_perf`` holds one ``{wall_s, events, events_per_s, attempts}``
+    record per cell (simulator events executed while the cell ran), so
+    artifacts track the evaluation's throughput trajectory commit over
+    commit.  ``incidents`` is the supervisor's anomaly log — worker
+    deaths, per-cell timeouts, in-cell exceptions — empty on a healthy
+    run; retried cells carry ``attempts > 1`` and resumed cells carry
+    ``resumed: true`` in their perf record.
     """
 
     experiment: str
@@ -235,27 +237,63 @@ class RunnerResult:
     reduced: Any
     elapsed_s: float
     cell_perf: List[Dict[str, float]] = field(default_factory=list)
+    incidents: List[Dict[str, Any]] = field(default_factory=list)
 
     def by_key(self) -> Dict[str, Any]:
         return {c.key: r for c, r in zip(self.cells, self.cell_results)}
 
     def perf_summary(self) -> Dict[str, float]:
-        """Aggregate events/wall over the cells (wall sums worker time)."""
+        """Aggregate events/wall over the cells (wall sums worker time).
+
+        The throughput ratio is computed over *clean* cells only: a
+        retried cell's wall time includes scheduler noise from the fault
+        (and a resumed cell's was measured by an earlier process), so
+        both are excluded from ``events_per_s`` — this is what keeps the
+        bench gate's ratchet honest under chaos (see
+        ``experiments/benchgate.py``).  Event *counts* still sum over
+        every cell: they are deterministic, faults or not.
+        """
         events = sum(p["events"] for p in self.cell_perf)
         wall = sum(p["wall_s"] for p in self.cell_perf)
-        return {
+        clean = [
+            p
+            for p in self.cell_perf
+            if p.get("attempts", 1) == 1 and not p.get("resumed")
+        ]
+        clean_events = sum(p["events"] for p in clean)
+        clean_wall = sum(p["wall_s"] for p in clean)
+        summary: Dict[str, float] = {
             "events": events,
             "cell_wall_s": round(wall, 6),
-            "events_per_s": round(events / wall) if wall > 0 else 0,
+            "events_per_s": (
+                round(clean_events / clean_wall) if clean_wall > 0 else 0
+            ),
             "elapsed_s": round(self.elapsed_s, 6),
         }
+        retried = sum(1 for p in self.cell_perf if p.get("attempts", 1) > 1)
+        resumed = sum(1 for p in self.cell_perf if p.get("resumed"))
+        if retried:
+            summary["retried_cells"] = retried
+        if resumed:
+            summary["resumed_cells"] = resumed
+        return summary
 
 
 class Runner:
-    """Fans experiment cells out over ``multiprocessing`` workers.
+    """Fans experiment cells out over supervised ``multiprocessing`` workers.
 
     ``jobs=1`` runs in-process through the same per-cell code path, so
-    the two modes are numerically identical by construction.
+    the two modes are numerically identical by construction.  With
+    ``jobs > 1`` every cell runs under the execution supervisor: a hung
+    or crashed worker costs a bounded retry, never the grid (policy:
+    :class:`~repro.execution.supervisor.SupervisionPolicy`, env knobs
+    ``REPRO_CELL_TIMEOUT_S`` / ``REPRO_CELL_MAX_ATTEMPTS`` /
+    ``REPRO_RETRY_BACKOFF_S``).
+
+    ``run(checkpoint_path=...)`` streams completed cells to a crash-safe
+    journal; ``run(resume_from=...)`` replays a journal and executes only
+    the remainder.  Resumed results live in JSON space (tuples become
+    lists), which every registered reducer already consumes.
     """
 
     def __init__(self, jobs: int = 1, mp_context: Optional[str] = None) -> None:
@@ -265,7 +303,12 @@ class Runner:
         self._mp_context = mp_context
 
     def run(
-        self, experiment: Union[str, ExperimentSpec], **options: Any
+        self,
+        experiment: Union[str, ExperimentSpec],
+        *,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
+        **options: Any,
     ) -> RunnerResult:
         spec = (
             experiment
@@ -275,8 +318,22 @@ class Runner:
         cells = list(spec.build_cells(**options))
         if not cells:
             raise ConfigError(f"experiment {spec.name!r} built an empty grid")
+        prefilled: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+        if resume_from is not None:
+            prefilled = load_checkpoint(resume_from, spec.name, cells)
+        journal: Optional[CheckpointWriter] = None
+        if checkpoint_path is not None:
+            journal = CheckpointWriter(
+                checkpoint_path, spec.name, cells, default=_json_default
+            )
         start = time.perf_counter()
-        results, perf = self._map(spec, cells)
+        try:
+            results, perf, incidents = self._map(
+                spec, cells, journal=journal, prefilled=prefilled
+            )
+        finally:
+            if journal is not None:
+                journal.close()
         reduced = spec.reduce(cells, results)
         elapsed = time.perf_counter() - start
         return RunnerResult(
@@ -287,19 +344,31 @@ class Runner:
             reduced=reduced,
             elapsed_s=elapsed,
             cell_perf=perf,
+            incidents=incidents,
         )
 
     def _map(
-        self, spec: ExperimentSpec, cells: List[Cell]
-    ) -> Tuple[List[Any], List[Dict[str, float]]]:
+        self,
+        spec: ExperimentSpec,
+        cells: List[Cell],
+        journal: Optional[CheckpointWriter] = None,
+        prefilled: Optional[Dict[int, Tuple[Any, Dict[str, Any]]]] = None,
+    ) -> Tuple[List[Any], List[Dict[str, float]], List[Dict[str, Any]]]:
+        prefilled = prefilled or {}
         if self.jobs == 1 or len(cells) == 1:
-            results = []
-            perf = []
-            for cell in cells:
-                value, cell_perf = _timed_cell(spec, cell)
+            results: List[Any] = []
+            perf: List[Dict[str, float]] = []
+            for index, cell in enumerate(cells):
+                if index in prefilled:
+                    value, cell_perf = prefilled[index]
+                else:
+                    value, cell_perf = _timed_cell(spec, cell)
+                    cell_perf["attempts"] = 1
+                    if journal is not None:
+                        journal.record(index, cell, value, cell_perf)
                 results.append(value)
                 perf.append(cell_perf)
-            return results, perf
+            return results, perf, []
         # Workers resolve the spec by name, so an unregistered (or
         # name-shadowed) spec would run the wrong run_cell over there.
         if _REGISTRY.get(spec.name) is not spec:
@@ -307,17 +376,15 @@ class Runner:
                 f"experiment {spec.name!r} must be register()ed (and not "
                 f"shadowed) before running with jobs > 1"
             )
-        payloads = [(spec.name, i, cell) for i, cell in enumerate(cells)]
-        results: List[Any] = [None] * len(cells)
-        perf: List[Dict[str, float]] = [{}] * len(cells)
-        ctx = get_context(self._mp_context)
-        with ctx.Pool(processes=min(self.jobs, len(cells))) as pool:
-            for index, value, cell_perf in pool.imap_unordered(
-                _run_indexed_cell, payloads
-            ):
-                results[index] = value
-                perf[index] = cell_perf
-        return results, perf
+        return supervised_map(
+            spec.name,
+            cells,
+            self.jobs,
+            SupervisionPolicy.from_env(),
+            mp_context=self._mp_context,
+            prefilled=prefilled,
+            on_complete=journal.record if journal is not None else None,
+        )
 
 
 def run_experiment(name: str, *, jobs: int = 1, **options: Any) -> Any:
@@ -386,6 +453,10 @@ def artifact_payload(
         "jobs": result.jobs,
         "elapsed_s": round(result.elapsed_s, 3),
         "perf": result.perf_summary(),
+        # Supervisor anomaly log (worker deaths, timeouts, retries);
+        # omitted on healthy runs so fault-free artifacts keep their
+        # historical shape.
+        **({"incidents": result.incidents} if result.incidents else {}),
         "git": git_metadata(),
         "config": dict(config or {}),
         "cells": [
@@ -410,7 +481,11 @@ def write_artifact(
     out_dir: str = "results",
     config: Optional[Mapping[str, Any]] = None,
 ) -> str:
-    """Persist a run to ``<out_dir>/<experiment>/<stamp>.json``; returns the path."""
+    """Persist a run to ``<out_dir>/<experiment>/<stamp>.json``; returns the path.
+
+    The write is atomic (temp sibling, fsync, ``os.replace``): an
+    interrupted run can never leave truncated JSON at the final path.
+    """
     directory = os.path.join(out_dir, result.experiment)
     os.makedirs(directory, exist_ok=True)
     stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
@@ -420,7 +495,4 @@ def write_artifact(
         path = os.path.join(directory, f"{stamp}-{suffix}.json")
         suffix += 1
     payload = artifact_payload(result, config=config)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, default=_json_default)
-        fh.write("\n")
-    return path
+    return atomic_write_json(path, payload, default=_json_default)

@@ -8,7 +8,10 @@ catalog out over workers and persists a JSON artifact whose rows carry
 per-tenant p50/p99/p999 latency and SLO attainment.
 
 Profiles are deliberately CI-sized (hundreds of ops); scale up with
-``--ops-per-client`` / the ``ops_per_client`` option.
+``--ops-per-client`` / the ``ops_per_client`` option.  Like every
+registered experiment, each profile cell is a pure function of spec +
+seed, so the supervised runner can retry or resume it without changing
+the artifact (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations

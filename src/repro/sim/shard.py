@@ -34,21 +34,65 @@ Two backends share the window loop:
   Requires the ``fork`` start method and a non-daemonic parent (the
   experiment runner's pool workers are daemonic, so sharded cells running
   under ``--jobs`` transparently fall back to ``"inprocess"``).
+
+Fault tolerance (contract: docs/RESILIENCE.md): every wait on a shard
+worker is bounded.  The parent waits on the worker's pipe *and* its
+``Process.sentinel``, so a dead shard raises a typed
+:class:`~repro.errors.ExecutionError` naming the shard and window
+immediately — never a forever-blocked ``recv`` — and an unresponsive
+shard raises :class:`~repro.errors.CellTimeoutError` after
+``REPRO_SHARD_TIMEOUT_S`` (default 120 s).  Cleanup joins with a timeout
+and escalates to terminate/kill, so no exit path leaves zombie children.
+When the backend was chosen automatically, :class:`ShardedSimulator`
+responds to a process-backend failure by falling back to ``inprocess``
+for the whole run and logging the incident: the two backends replay
+bit-identically, so degradation changes wall-clock behaviour only.
+``REPRO_SHARD_BACKEND`` (``auto`` | ``inprocess`` | ``processes``)
+overrides the default backend choice.
 """
 
 from __future__ import annotations
 
 import gc
+import logging
 import math
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass
 from functools import partial
+from multiprocessing import connection
 from typing import (
     Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple,
 )
 
-from repro.errors import SimulationError
+from repro.errors import CellTimeoutError, ExecutionError, SimulationError
+from repro.execution.chaos import apply_shard_chaos
 from repro.sim.engine import MAX_EVENT_TIME, Simulator, add_external_events
+
+logger = logging.getLogger(__name__)
+
+#: Env override for the per-round-trip shard wait budget, in seconds.
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT_S"
+
+#: Env override for the default shard backend (auto/inprocess/processes).
+SHARD_BACKEND_ENV = "REPRO_SHARD_BACKEND"
+
+DEFAULT_SHARD_TIMEOUT_S = 120.0
+
+
+def shard_timeout_s() -> float:
+    """Resolve the bounded wait budget for one shard round trip."""
+    raw = os.environ.get(SHARD_TIMEOUT_ENV, "")
+    try:
+        timeout = float(raw) if raw else DEFAULT_SHARD_TIMEOUT_S
+    except ValueError:
+        raise SimulationError(
+            f"{SHARD_TIMEOUT_ENV} is not a number: {raw!r}"
+        ) from None
+    if timeout <= 0:
+        raise SimulationError(f"{SHARD_TIMEOUT_ENV} must be positive: {raw!r}")
+    return timeout
 
 #: A routed mailbox entry: (time, priority, seq, route_key, payload).
 MailboxEntry = Tuple[float, int, int, Hashable, Any]
@@ -250,8 +294,19 @@ class _LocalShard:
         pass
 
 
-def _shard_worker(conn, builder: ShardBuilder, shard_id: int) -> None:
+def _shard_worker(
+    conn, inherited, builder: ShardBuilder, shard_id: int
+) -> None:
     """Forked worker: one shard, one fused round trip per window."""
+    # Drop every inherited pipe end that is not this worker's own: with
+    # stray copies open, the parent closing an end would never surface as
+    # EOF in its worker, and a crashed parent would leave the workers
+    # keeping each other's pipes (and themselves) alive forever.
+    for end in inherited:
+        try:
+            end.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     try:
         runtime = builder(shard_id)
         conn.send(("ready", runtime.sim.next_event_time()))
@@ -259,6 +314,10 @@ def _shard_worker(conn, builder: ShardBuilder, shard_id: int) -> None:
             message = conn.recv()
             op = message[0]
             if op == "window":
+                # Chaos hook (test/CI only): kill_worker:shard=N and
+                # hang:shard=N fire here, in the forked worker, so the
+                # parent's death/timeout detection is what gets tested.
+                apply_shard_chaos(shard_id)
                 conn.send(runtime.run_window(message[1], message[2]))
             elif op == "finish":
                 result = runtime.collect() if runtime.collect else None
@@ -273,39 +332,108 @@ def _shard_worker(conn, builder: ShardBuilder, shard_id: int) -> None:
 
 
 class _ProcessShard:
-    """Fork-backend handle: the shard lives in a child process."""
+    """Fork-backend handle: the shard lives in a child process.
 
-    def __init__(self, mp_context, builder: ShardBuilder, shard_id: int) -> None:
-        self.conn, child = mp_context.Pipe(duplex=True)
+    Every receive is heartbeat-aware: the parent waits on the pipe *and*
+    the worker's ``Process.sentinel`` with a bounded budget, so a dead
+    shard raises :class:`ExecutionError` immediately and an unresponsive
+    one raises :class:`CellTimeoutError` after ``REPRO_SHARD_TIMEOUT_S``
+    — never an unbounded ``Connection.recv`` on a corpse.
+    """
+
+    def __init__(
+        self,
+        mp_context,
+        builder: ShardBuilder,
+        shard_id: int,
+        pipe: Tuple[Any, Any],
+        inherited: List[Any],
+    ) -> None:
+        self.shard_id = shard_id
+        self.windows_sent = 0
+        self.conn, child = pipe
         self.process = mp_context.Process(
             target=_shard_worker,
-            args=(child, builder, shard_id),
+            args=(child, inherited, builder, shard_id),
             name=f"shard-{shard_id}",
         )
         self.process.start()
         child.close()
-        tag, self.ready_next = self.conn.recv()
+        tag, self.ready_next = self._recv("startup")
         if tag != "ready":  # pragma: no cover - protocol guard
             raise SimulationError(f"shard {shard_id} failed to start: {tag!r}")
 
+    def _recv(self, waiting_on: str) -> Any:
+        """Bounded receive; typed errors name the shard and the wait."""
+        budget = shard_timeout_s()
+        deadline = time.monotonic() + budget
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CellTimeoutError(
+                    f"shard {self.shard_id} did not answer {waiting_on} "
+                    f"within {budget:g}s ({SHARD_TIMEOUT_ENV} to adjust)"
+                )
+            ready = connection.wait(
+                [self.conn, self.process.sentinel], timeout=remaining
+            )
+            if self.conn in ready:
+                try:
+                    return self.conn.recv()
+                except (EOFError, OSError):
+                    raise ExecutionError(
+                        f"shard {self.shard_id} closed its pipe during "
+                        f"{waiting_on} (exit code {self.process.exitcode})"
+                    ) from None
+            if self.process.sentinel in ready and not self.process.is_alive():
+                # Drain a result the worker managed to send before dying.
+                if self.conn.poll(0):
+                    continue
+                raise ExecutionError(
+                    f"shard {self.shard_id} died during {waiting_on} "
+                    f"(exit code {self.process.exitcode})"
+                )
+
+    def _send(self, message: Tuple) -> None:
+        try:
+            self.conn.send(message)
+        except (OSError, ValueError):
+            raise ExecutionError(
+                f"shard {self.shard_id} is gone (exit code "
+                f"{self.process.exitcode}); cannot send {message[0]!r}"
+            ) from None
+
     def start_window(self, horizon: float, inbox: List[MailboxEntry]) -> None:
-        self.conn.send(("window", horizon, inbox))
+        self.windows_sent += 1
+        self._send(("window", horizon, inbox))
 
     def finish_window(self) -> Tuple[List[MailboxEntry], Optional[float]]:
-        return self.conn.recv()
+        return self._recv(f"window {self.windows_sent}")
 
     def finish(self) -> Any:
-        self.conn.send(("finish",))
-        result, events = self.conn.recv()
+        self._send(("finish",))
+        result, events = self._recv("finish")
         add_external_events(events)
         return result
 
     def close(self) -> None:
-        self.conn.close()
-        self.process.join(timeout=30)
-        if self.process.is_alive():  # pragma: no cover - hang guard
+        """Join with a timeout, then escalate — no zombies on any path.
+
+        A healthy worker exits within milliseconds of the pipe EOF, so
+        the graceful grace period is short; anything still alive after it
+        is hung and gets terminated, then killed.
+        """
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        self.process.join(timeout=1)
+        if self.process.is_alive():
             self.process.terminate()
-            self.process.join()
+            self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - hard-stuck child
+            self.process.kill()
+            self.process.join(timeout=5)
 
 
 def processes_backend_available() -> bool:
@@ -326,7 +454,13 @@ class ShardedSimulator:
     the per-shard ``collect()`` payloads in shard-id order.
 
     Both backends replay the identical event order; ``backend="auto"``
-    prefers forked workers when the platform allows them.
+    prefers forked workers when the platform allows them, honours a
+    ``REPRO_SHARD_BACKEND`` env override, and — because determinism is
+    backend-independent — responds to a process-backend failure (dead or
+    hung shard worker) by rerunning the whole simulation on the
+    inprocess backend with a logged incident instead of aborting.  An
+    explicitly requested ``"processes"`` backend never falls back: the
+    typed :class:`ExecutionError` propagates.
     """
 
     def __init__(
@@ -336,8 +470,15 @@ class ShardedSimulator:
         *,
         backend: str = "auto",
     ) -> None:
+        if backend == "auto":
+            env = os.environ.get(SHARD_BACKEND_ENV, "").strip()
+            if env:
+                backend = env
         if backend not in ("auto", "inprocess", "processes"):
             raise SimulationError(f"unknown shard backend {backend!r}")
+        # Only an automatic choice may degrade; forcing "processes"
+        # (by argument or env) makes failures loud instead.
+        self._fallback_allowed = backend == "auto"
         if backend == "auto":
             backend = (
                 "processes" if processes_backend_available() else "inprocess"
@@ -350,22 +491,71 @@ class ShardedSimulator:
         self.builder = builder
         self.backend = backend
         self.windows_run = 0
+        #: Operational anomalies (e.g. backend fallbacks), for diagnosis.
+        self.incidents: List[Dict[str, Any]] = []
 
     def run(self, deadline_ns: Optional[float] = None) -> List[Any]:
+        try:
+            return self._run_backend(self.backend, deadline_ns)
+        except ExecutionError as exc:
+            if self.backend != "processes" or not self._fallback_allowed:
+                raise
+            # Degrade, don't die: both backends replay bit-identically,
+            # so rerunning inprocess changes wall-clock behaviour only.
+            self.incidents.append(
+                {
+                    "kind": "shard_backend_fallback",
+                    "from_backend": "processes",
+                    "to_backend": "inprocess",
+                    "detail": str(exc),
+                }
+            )
+            logger.warning(
+                "process shard backend failed (%s); falling back to the "
+                "inprocess backend — results are backend-independent",
+                exc,
+            )
+            self.backend = "inprocess"
+            self.windows_run = 0
+            return self._run_backend("inprocess", deadline_ns)
+
+    def _run_backend(
+        self, backend: str, deadline_ns: Optional[float]
+    ) -> List[Any]:
         plan = self.plan
         lookahead = plan.lookahead_ns
         shard_of = plan.shard_of
         handles: List[Any] = []
         try:
-            if self.backend == "processes":
+            if backend == "processes":
                 # Forked children inherit the parent heap copy-on-write;
                 # dropping collectable garbage first shrinks the pages
                 # their refcount traffic will fault in.
                 gc.collect()
                 mp_context = multiprocessing.get_context("fork")
+                # All pipes exist before the first fork, so every worker
+                # can be handed (and close) every end that is not its
+                # own — see _shard_worker on why stray copies are fatal.
+                pipes = [
+                    mp_context.Pipe(duplex=True)
+                    for _ in range(plan.num_shards)
+                ]
                 for shard_id in range(plan.num_shards):
+                    own_child = pipes[shard_id][1]
+                    inherited = [
+                        end
+                        for pair in pipes
+                        for end in pair
+                        if end is not own_child
+                    ]
                     handles.append(
-                        _ProcessShard(mp_context, self.builder, shard_id)
+                        _ProcessShard(
+                            mp_context,
+                            self.builder,
+                            shard_id,
+                            pipes[shard_id],
+                            inherited,
+                        )
                     )
             else:
                 for shard_id in range(plan.num_shards):
